@@ -1,0 +1,135 @@
+// Command rahtm-bench regenerates the paper's evaluation tables and
+// figures on the simulated platform:
+//
+//	rahtm-bench -fig 8            # overall execution time (Figure 8)
+//	rahtm-bench -fig 9            # comm/comp fractions    (Figure 9)
+//	rahtm-bench -fig 10           # communication time     (Figure 10)
+//	rahtm-bench -fig opt          # optimization time      (Section V-B)
+//	rahtm-bench -fig all
+//
+// Scale and topology are adjustable:
+//
+//	rahtm-bench -topo 4x4x4x4x2 -procs 16384 -conc 32 -fig 10
+//
+// defaults to a laptop-scale configuration (4x4x4 torus, 256 processes,
+// concentration 4) that finishes in seconds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"rahtm"
+)
+
+func main() {
+	var (
+		topoSpec = flag.String("topo", "4x4x4", "torus dimensions, e.g. 4x4x4x4x2")
+		procs    = flag.Int("procs", 256, "number of MPI processes")
+		conc     = flag.Int("conc", 4, "processes per node (concentration factor)")
+		fig      = flag.String("fig", "all", "which result to regenerate: 8, 9, 10, opt, or all")
+		beam     = flag.Int("beam", 0, "Phase 3 beam width override (0 = paper default 64)")
+		orient   = flag.Int("orient", 0, "Phase 3 orientation cap override (0 = default)")
+	)
+	flag.Parse()
+
+	t, err := parseTopo(*topoSpec)
+	if err != nil {
+		fatal(err)
+	}
+	if t.N()**conc != *procs {
+		fatal(fmt.Errorf("%d processes != %d nodes x %d concentration", *procs, t.N(), *conc))
+	}
+	ws, err := rahtm.Suite(*procs)
+	if err != nil {
+		fatal(err)
+	}
+	ms := rahtm.StandardMappers(t)
+	if *beam > 0 || *orient > 0 {
+		m := rahtm.Mapper{}
+		m.Merge.BeamWidth = *beam
+		m.Merge.MaxOrientations = *orient
+		ms[len(ms)-1] = m
+	}
+
+	fmt.Printf("RAHTM evaluation on %s, %d processes, concentration %d\n\n", t, *procs, *conc)
+
+	needCompare := *fig == "8" || *fig == "10" || *fig == "all"
+	var cs []*rahtm.Comparison
+	if needCompare {
+		start := time.Now()
+		cs, err = rahtm.CompareSuite(ws, t, *conc, ms, rahtm.Model{})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("(suite mapped and simulated in %v)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	switch *fig {
+	case "8":
+		must(rahtm.WriteTable(os.Stdout, cs, "exec"))
+	case "9":
+		must(rahtm.CommFractionTable(os.Stdout, ws, t, *conc, ms[0], rahtm.Model{}))
+	case "10":
+		must(rahtm.WriteTable(os.Stdout, cs, "comm"))
+	case "opt":
+		optimizationTime(ws, t, *conc)
+	case "all":
+		must(rahtm.CommFractionTable(os.Stdout, ws, t, *conc, ms[0], rahtm.Model{}))
+		fmt.Println()
+		must(rahtm.WriteTable(os.Stdout, cs, "comm"))
+		fmt.Println()
+		must(rahtm.WriteTable(os.Stdout, cs, "exec"))
+		fmt.Println()
+		optimizationTime(ws, t, *conc)
+	default:
+		fatal(fmt.Errorf("unknown -fig %q (want 8, 9, 10, opt or all)", *fig))
+	}
+}
+
+// optimizationTime reports RAHTM's offline mapping cost per benchmark
+// (the Section V-B discussion: minutes to hours at the paper's scale).
+func optimizationTime(ws []*rahtm.Workload, t *rahtm.Torus, conc int) {
+	fmt.Println("offline mapping computation time (Section V-B)")
+	fmt.Printf("%-10s %12s %12s %12s %12s\n", "benchmark", "cluster", "map", "merge", "total")
+	for _, w := range ws {
+		res, err := (rahtm.Mapper{}).Pipeline(w, t, conc)
+		if err != nil {
+			fmt.Printf("%-10s error: %v\n", w.Name, err)
+			continue
+		}
+		s := res.Stats
+		total := s.ClusterTime + s.MapTime + s.MergeTime
+		fmt.Printf("%-10s %12v %12v %12v %12v\n", w.Name,
+			s.ClusterTime.Round(time.Millisecond), s.MapTime.Round(time.Millisecond),
+			s.MergeTime.Round(time.Millisecond), total.Round(time.Millisecond))
+	}
+}
+
+func parseTopo(spec string) (*rahtm.Torus, error) {
+	parts := strings.Split(strings.ToLower(strings.TrimSpace(spec)), "x")
+	dims := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad topology spec %q", spec)
+		}
+		dims = append(dims, v)
+	}
+	return rahtm.NewTorus(dims...), nil
+}
+
+func must(err error) {
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rahtm-bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,25 @@
+package main
+
+import "testing"
+
+func TestParseTopo(t *testing.T) {
+	tp, err := parseTopo("4x4x4x4x2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.N() != 512 || tp.NumDims() != 5 {
+		t.Fatalf("parsed %v", tp)
+	}
+	tp, err = parseTopo(" 8X2 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.N() != 16 {
+		t.Fatalf("parsed %v", tp)
+	}
+	for _, bad := range []string{"", "4x", "axb", "4x0", "-2"} {
+		if _, err := parseTopo(bad); err == nil {
+			t.Fatalf("parseTopo(%q) should fail", bad)
+		}
+	}
+}

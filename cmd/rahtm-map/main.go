@@ -1,0 +1,170 @@
+// Command rahtm-map computes a task mapping offline and writes it as a
+// BG/Q-style map file (one node rank per line, indexed by process rank):
+//
+//	rahtm-map -workload CG -procs 256 -topo 4x4x4 -conc 4 -o cg.map
+//	rahtm-map -workload halo2d -grid 16x16 -topo 4x4x4 -conc 4
+//	rahtm-map -graph comm.txt -grid 16x16 -topo 4x4x4 -conc 4
+//
+// The mapper defaults to RAHTM; -mapper selects a baseline instead
+// (ABCDET-style specs, hilbert, rht, greedy, random).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"rahtm"
+)
+
+func main() {
+	var (
+		topoSpec = flag.String("topo", "4x4x4", "torus dimensions, e.g. 4x4x4x4x2")
+		wl       = flag.String("workload", "", "benchmark: BT, SP, CG, halo2d, halo3d, random")
+		procs    = flag.Int("procs", 0, "number of processes (defaults to nodes x conc)")
+		conc     = flag.Int("conc", 1, "processes per node")
+		gridSpec = flag.String("grid", "", "logical process grid, e.g. 16x16 (halo/graph workloads)")
+		graphIn  = flag.String("graph", "", "read the communication graph from this file instead")
+		mapper   = flag.String("mapper", "rahtm", "mapper: rahtm, bisection, hilbert, rht, greedy, random, or a permutation spec like ABCDET")
+		out      = flag.String("o", "", "output map file (default stdout)")
+		format   = flag.String("format", "ranks", "map file format: ranks (one node per line) or coords (BG/Q tuples)")
+		quiet    = flag.Bool("q", false, "suppress the quality report")
+	)
+	flag.Parse()
+
+	t, err := parseDims(*topoSpec)
+	if err != nil {
+		fatal(err)
+	}
+	topo := rahtm.NewTorus(t...)
+	if *procs == 0 {
+		*procs = topo.N() * *conc
+	}
+
+	w, err := buildWorkload(*wl, *graphIn, *gridSpec, *procs)
+	if err != nil {
+		fatal(err)
+	}
+
+	m, err := selectMapper(*mapper)
+	if err != nil {
+		fatal(err)
+	}
+
+	start := time.Now()
+	mapping, err := m.MapProcs(w, topo, *conc)
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	var sink *os.File = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		sink = f
+	}
+	header := fmt.Sprintf("rahtm-map: workload=%s mapper=%s topo=%s conc=%d", w.Name, m.Name(), topo, *conc)
+	switch *format {
+	case "ranks":
+		err = rahtm.WriteMapFileRanks(sink, mapping, header)
+	case "coords":
+		err = rahtm.WriteMapFileCoords(sink, topo, mapping, header)
+	default:
+		err = fmt.Errorf("unknown -format %q (want ranks or coords)", *format)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	if !*quiet {
+		rep := rahtm.Measure(topo, w.Graph, mapping)
+		fmt.Fprintf(os.Stderr, "mapped %d processes with %s in %v\n%s\n",
+			w.Procs(), m.Name(), elapsed.Round(time.Millisecond), rep)
+	}
+}
+
+func buildWorkload(name, graphIn, gridSpec string, procs int) (*rahtm.Workload, error) {
+	var grid []int
+	if gridSpec != "" {
+		g, err := parseDims(gridSpec)
+		if err != nil {
+			return nil, err
+		}
+		grid = g
+	}
+	if graphIn != "" {
+		f, err := os.Open(graphIn)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		g, err := rahtm.ReadGraph(f)
+		if err != nil {
+			return nil, err
+		}
+		return &rahtm.Workload{Name: graphIn, Grid: grid, Graph: g, CommFraction: 0.5}, nil
+	}
+	switch strings.ToLower(name) {
+	case "bt", "sp", "cg":
+		return rahtm.WorkloadByName(name, procs)
+	case "halo2d":
+		if len(grid) != 2 {
+			return nil, fmt.Errorf("halo2d needs -grid RxC")
+		}
+		return rahtm.Halo2D(grid[0], grid[1], 10), nil
+	case "halo3d":
+		if len(grid) != 3 {
+			return nil, fmt.Errorf("halo3d needs -grid XxYxZ")
+		}
+		return rahtm.Halo3D(grid[0], grid[1], grid[2], 10), nil
+	case "random":
+		return rahtm.RandomNeighbors(procs, 4, 10, 1), nil
+	case "":
+		return nil, fmt.Errorf("need -workload or -graph")
+	}
+	return nil, fmt.Errorf("unknown workload %q", name)
+}
+
+func selectMapper(name string) (rahtm.ProcMapper, error) {
+	switch strings.ToLower(name) {
+	case "rahtm":
+		return rahtm.Mapper{}, nil
+	case "bisection":
+		return rahtm.NewRecursiveBisection(), nil
+	case "hilbert":
+		return rahtm.NewHilbert(), nil
+	case "rht":
+		return rahtm.NewRHT(), nil
+	case "greedy":
+		return rahtm.NewGreedyHopBytes(), nil
+	case "random":
+		return rahtm.NewRandom(1), nil
+	}
+	// Anything else is a permutation spec like ABCDET.
+	return rahtm.NewPermutation(strings.ToUpper(name)), nil
+}
+
+func parseDims(spec string) ([]int, error) {
+	parts := strings.Split(strings.ToLower(strings.TrimSpace(spec)), "x")
+	dims := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad dimension spec %q", spec)
+		}
+		dims = append(dims, v)
+	}
+	return dims, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rahtm-map:", err)
+	os.Exit(1)
+}

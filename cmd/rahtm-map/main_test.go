@@ -1,0 +1,51 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestParseDims(t *testing.T) {
+	d, err := parseDims("16x16")
+	if err != nil || len(d) != 2 || d[0] != 16 {
+		t.Fatalf("parseDims: %v %v", d, err)
+	}
+	if _, err := parseDims("x"); err == nil {
+		t.Fatal("bad spec should fail")
+	}
+}
+
+func TestSelectMapper(t *testing.T) {
+	for _, name := range []string{"rahtm", "hilbert", "rht", "greedy", "random", "ABCDET"} {
+		m, err := selectMapper(name)
+		if err != nil {
+			t.Fatalf("selectMapper(%q): %v", name, err)
+		}
+		if m == nil {
+			t.Fatalf("selectMapper(%q) returned nil", name)
+		}
+	}
+}
+
+func TestBuildWorkload(t *testing.T) {
+	w, err := buildWorkload("CG", "", "", 64)
+	if err != nil || w.Procs() != 64 {
+		t.Fatalf("CG: %v %v", w, err)
+	}
+	w, err = buildWorkload("halo2d", "", "4x8", 32)
+	if err != nil || w.Procs() != 32 {
+		t.Fatalf("halo2d: %v %v", w, err)
+	}
+	if _, err := buildWorkload("halo2d", "", "", 32); err == nil {
+		t.Fatal("halo2d without grid should fail")
+	}
+	if _, err := buildWorkload("", "", "", 32); err == nil {
+		t.Fatal("empty workload should fail")
+	}
+	if _, err := buildWorkload("nope", "", "", 32); err == nil {
+		t.Fatal("unknown workload should fail")
+	}
+	w, err = buildWorkload("random", "", "", 32)
+	if err != nil || w.Procs() != 32 {
+		t.Fatalf("random: %v", err)
+	}
+}

@@ -1,0 +1,174 @@
+// Command rahtm-sim evaluates a mapping: channel-load metrics under the
+// minimal-adaptive routing approximation and simulated per-iteration
+// communication time.
+//
+//	rahtm-sim -workload CG -procs 256 -topo 4x4x4 -conc 4 -map cg.map
+//	rahtm-sim -workload BT -procs 256 -topo 4x4x4 -conc 4 -mapper hilbert
+//
+// With -map the mapping comes from a map file produced by rahtm-map; with
+// -mapper it is computed on the fly.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"rahtm"
+)
+
+func main() {
+	var (
+		topoSpec = flag.String("topo", "4x4x4", "torus dimensions")
+		wl       = flag.String("workload", "CG", "benchmark: BT, SP, CG, halo2d, random")
+		procs    = flag.Int("procs", 0, "number of processes (defaults to nodes x conc)")
+		conc     = flag.Int("conc", 1, "processes per node")
+		gridSpec = flag.String("grid", "", "logical process grid for halo workloads")
+		mapFile  = flag.String("map", "", "map file (one node per line)")
+		mapper   = flag.String("mapper", "", "compute the mapping with this mapper instead")
+		linkBW   = flag.Float64("linkbw", 2e9, "link bandwidth, bytes/s")
+	)
+	flag.Parse()
+
+	dims, err := parseDims(*topoSpec)
+	if err != nil {
+		fatal(err)
+	}
+	topo := rahtm.NewTorus(dims...)
+	if *procs == 0 {
+		*procs = topo.N() * *conc
+	}
+
+	w, err := buildWorkload(*wl, *gridSpec, *procs)
+	if err != nil {
+		fatal(err)
+	}
+
+	var mapping rahtm.Mapping
+	switch {
+	case *mapFile != "":
+		mapping, err = readMapFileTopo(*mapFile, topo)
+	case *mapper != "":
+		var m rahtm.ProcMapper
+		m, err = selectMapper(*mapper)
+		if err == nil {
+			mapping, err = m.MapProcs(w, topo, *conc)
+		}
+	default:
+		err = fmt.Errorf("need -map or -mapper")
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if len(mapping) != w.Procs() {
+		fatal(fmt.Errorf("mapping covers %d processes, workload has %d", len(mapping), w.Procs()))
+	}
+	if err := mapping.Validate(topo.N(), false); err != nil {
+		fatal(err)
+	}
+
+	rep := rahtm.Measure(topo, w.Graph, mapping)
+	fmt.Printf("workload  : %s (%d processes on %s, %d per node)\n", w.Name, w.Procs(), topo, *conc)
+	fmt.Printf("quality   : %s\n", rep)
+	comm, err := rahtm.CommTime(topo, w.Graph, mapping, rahtm.Model{LinkBandwidth: *linkBW})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("comm time : %.6gs/iteration (link %.6gs, injection %.6gs, ejection %.6gs)\n",
+		comm.Time, comm.LinkTime, comm.InjectionTime, comm.EjectionTime)
+}
+
+func buildWorkload(name, gridSpec string, procs int) (*rahtm.Workload, error) {
+	var grid []int
+	if gridSpec != "" {
+		g, err := parseDims(gridSpec)
+		if err != nil {
+			return nil, err
+		}
+		grid = g
+	}
+	switch strings.ToLower(name) {
+	case "bt", "sp", "cg":
+		return rahtm.WorkloadByName(name, procs)
+	case "halo2d":
+		if len(grid) != 2 {
+			return nil, fmt.Errorf("halo2d needs -grid RxC")
+		}
+		return rahtm.Halo2D(grid[0], grid[1], 10), nil
+	case "random":
+		return rahtm.RandomNeighbors(procs, 4, 10, 1), nil
+	}
+	return nil, fmt.Errorf("unknown workload %q", name)
+}
+
+func selectMapper(name string) (rahtm.ProcMapper, error) {
+	switch strings.ToLower(name) {
+	case "rahtm":
+		return rahtm.Mapper{}, nil
+	case "hilbert":
+		return rahtm.NewHilbert(), nil
+	case "rht":
+		return rahtm.NewRHT(), nil
+	case "greedy":
+		return rahtm.NewGreedyHopBytes(), nil
+	case "random":
+		return rahtm.NewRandom(1), nil
+	}
+	return rahtm.NewPermutation(strings.ToUpper(name)), nil
+}
+
+// readMapFile reads either map-file format (node ranks, or BG/Q-style
+// coordinate tuples) without topology validation; rank-format only here —
+// use readMapFileTopo when a topology is at hand.
+func readMapFile(path string) (rahtm.Mapping, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var m rahtm.Mapping
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		v, err := strconv.Atoi(line)
+		if err != nil {
+			return nil, fmt.Errorf("bad map line %q", line)
+		}
+		m = append(m, v)
+	}
+	return m, sc.Err()
+}
+
+// readMapFileTopo reads either map-file format with validation against topo.
+func readMapFileTopo(path string, topo *rahtm.Torus) (rahtm.Mapping, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return rahtm.ReadMapFile(f, topo)
+}
+
+func parseDims(spec string) ([]int, error) {
+	parts := strings.Split(strings.ToLower(strings.TrimSpace(spec)), "x")
+	dims := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad dimension spec %q", spec)
+		}
+		dims = append(dims, v)
+	}
+	return dims, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rahtm-sim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestReadMapFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "test.map")
+	if err := os.WriteFile(path, []byte("# header\n0\n1\n\n2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := readMapFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 3 || m[0] != 0 || m[2] != 2 {
+		t.Fatalf("mapping = %v", m)
+	}
+	bad := filepath.Join(dir, "bad.map")
+	if err := os.WriteFile(bad, []byte("zero\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readMapFile(bad); err == nil {
+		t.Fatal("bad line should fail")
+	}
+	if _, err := readMapFile(filepath.Join(dir, "missing.map")); err == nil {
+		t.Fatal("missing file should fail")
+	}
+}
+
+func TestSimBuildWorkload(t *testing.T) {
+	w, err := buildWorkload("BT", "", 64)
+	if err != nil || w.Procs() != 64 {
+		t.Fatalf("BT: %v", err)
+	}
+	if _, err := buildWorkload("halo2d", "", 64); err == nil {
+		t.Fatal("halo2d without grid should fail")
+	}
+	if _, err := buildWorkload("wat", "", 64); err == nil {
+		t.Fatal("unknown workload should fail")
+	}
+}

@@ -1,0 +1,63 @@
+// routingstudy reproduces the paper's Figure 1 argument numerically: on a
+// 2x2 mesh with minimal adaptive routing, the hop-bytes metric and the
+// maximum channel load (MCL) metric prefer *different* mappings for a
+// communication graph with one heavy pair — and MCL is the one that
+// predicts throughput.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rahtm"
+)
+
+func main() {
+	// Figure 1(a): four processes; P0-P1 exchange heavily, the rest
+	// lightly.
+	g := rahtm.NewGraph(4)
+	g.AddTraffic(0, 1, 10)
+	g.AddTraffic(1, 2, 1)
+	g.AddTraffic(2, 3, 1)
+	g.AddTraffic(3, 0, 1)
+
+	t := rahtm.NewMesh(2, 2)
+
+	// Figure 1(b): the hop-bytes-optimal mapping keeps the heavy pair on
+	// adjacent nodes.
+	adjacent := rahtm.Mapping{0, 1, 3, 2}
+	// Figure 1(c): the MCL-optimal mapping puts the heavy pair on the
+	// diagonal so minimal adaptive routing splits it over two paths.
+	diagonal := rahtm.Mapping{0, 3, 1, 2}
+
+	fmt.Println("Figure 1: routing awareness changes the best mapping")
+	fmt.Println("communication graph: P0-P1 weight 10; ring edges weight 1")
+	fmt.Println()
+	for _, c := range []struct {
+		name string
+		m    rahtm.Mapping
+	}{{"adjacent (hop-bytes optimal)", adjacent}, {"diagonal (MCL optimal)", diagonal}} {
+		hb := rahtm.HopBytes(t, g, c.m)
+		mcl := rahtm.MCL(t, g, c.m)
+		comm, err := rahtm.CommTime(t, g, c.m, rahtm.Model{LinkBandwidth: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-30s hop-bytes=%-5.4g MCL=%-5.4g comm-time=%.4g\n", c.name, hb, mcl, comm.Time)
+	}
+
+	fmt.Println()
+	fmt.Println("hop-bytes prefers the adjacent mapping, but under minimal")
+	fmt.Println("adaptive routing the diagonal mapping halves the hottest link —")
+	fmt.Println("exactly the effect RAHTM's MCL objective captures.")
+
+	// And indeed RAHTM's own leaf solver (the Table II MILP family)
+	// discovers the diagonal placement by itself:
+	w := &rahtm.Workload{Name: "figure1", Graph: g, CommFraction: 0.5}
+	m, err := rahtm.Mapper{}.MapProcs(w, rahtm.NewMesh(2, 2), 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nRAHTM's placement: %v (heavy pair at distance %d)\n",
+		m, rahtm.NewMesh(2, 2).MinDistance(m[0], m[1]))
+}

@@ -1,0 +1,3 @@
+module rahtm
+
+go 1.22

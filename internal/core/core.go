@@ -1,0 +1,357 @@
+// Package core orchestrates the full RAHTM pipeline: Phase 1 clustering
+// (concentration + per-level 2^n coarsening), Phase 2 top-down hierarchical
+// mapping of cluster graphs onto 2-ary n-cubes, and Phase 3 bottom-up
+// rotation/reorientation merging with top-N pruning.
+//
+// The entry point is MapProcesses, which takes a process-level communication
+// graph, a power-of-two torus/mesh topology, and a configuration, and
+// produces a process-to-node mapping that minimizes the maximum channel
+// load under the minimal-adaptive routing approximation.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"rahtm/internal/cluster"
+	"rahtm/internal/graph"
+	"rahtm/internal/hiermap"
+	"rahtm/internal/merge"
+	"rahtm/internal/routing"
+	"rahtm/internal/topology"
+)
+
+// Config controls the pipeline. The zero value is usable for power-of-two
+// topologies with concentration factor 1.
+type Config struct {
+	// Concentration is the number of processes per node (0 = 1). The
+	// process count must equal topology nodes x concentration.
+	Concentration int
+	// GridDims is the logical process-grid layout used by the tiling
+	// clusterer (row-major). Nil falls back to greedy clustering.
+	GridDims []int
+	// Leaf configures the Phase 2 subproblem solver.
+	Leaf hiermap.Config
+	// Merge configures the Phase 3 beam search.
+	Merge merge.Config
+	// DisableSiblingReuse turns off the symmetry optimization that copies
+	// solutions across subproblems with identical communication structure.
+	DisableSiblingReuse bool
+}
+
+// PhaseStats reports where pipeline time went.
+type PhaseStats struct {
+	ClusterTime time.Duration
+	MapTime     time.Duration
+	MergeTime   time.Duration
+
+	Subproblems    int // Phase 2 cube mappings required
+	SubproblemsHit int // solved via the sibling-reuse cache
+	Merges         int // Phase 3 merges required
+	MergesHit      int // reused via the cache
+	TileShapes     [][]int
+	ClusterQuality float64 // fraction of volume made node-local by Phase 1
+	LeafMethod     hiermap.Method
+	CandidatesKept int // beam size surviving at the root
+	// DefaultFallback is set when the identity (default-order) mapping
+	// beat every searched candidate and was returned instead — the guard
+	// that makes RAHTM never lose to the machine default, matching the
+	// paper's empirical behavior.
+	DefaultFallback bool
+}
+
+// Result is the pipeline output.
+type Result struct {
+	// ProcToNode maps each process rank to a topology node.
+	ProcToNode topology.Mapping
+	// NodeMapping maps node-level tasks (post-concentration clusters) to
+	// topology nodes; it is a permutation of the nodes.
+	NodeMapping topology.Mapping
+	// NodeGraph is the node-level communication graph.
+	NodeGraph *graph.Comm
+	// MCL is the maximum channel load of NodeMapping on the real topology
+	// under the uniform minimal-path model.
+	MCL float64
+	// Stats describes the work done.
+	Stats PhaseStats
+
+	procToTask []int // process rank -> node-level task id
+}
+
+// ProcTask returns the node-level task (post-concentration cluster) of a
+// process rank.
+func (r *Result) ProcTask(p int) int { return r.procToTask[p] }
+
+// MapProcesses runs RAHTM end to end.
+func MapProcesses(proc *graph.Comm, t *topology.Torus, cfg Config) (*Result, error) {
+	conc := cfg.Concentration
+	if conc <= 0 {
+		conc = 1
+	}
+	if proc.N() != t.N()*conc {
+		return nil, fmt.Errorf("core: %d processes != %d nodes x %d concentration",
+			proc.N(), t.N(), conc)
+	}
+	h, err := topology.NewHierarchy(t)
+	if err != nil {
+		return nil, err
+	}
+	L := h.NumLevels()
+	res := &Result{}
+
+	// ---- Phase 1: clustering -------------------------------------------
+	start := time.Now()
+	var nodeGraph *graph.Comm
+	gridDims := cfg.GridDims
+	if conc > 1 {
+		c1, err := cluster.Auto(proc, gridDims, conc)
+		if err != nil {
+			return nil, fmt.Errorf("core: concentration clustering: %w", err)
+		}
+		nodeGraph = c1.Coarse
+		gridDims = c1.GridDims
+		res.Stats.TileShapes = append(res.Stats.TileShapes, c1.TileShape)
+		res.Stats.ClusterQuality = cluster.Quality(proc, c1)
+		res.procToTask = c1.Assign
+	} else {
+		nodeGraph = proc.Clone()
+		res.procToTask = identity(proc.N())
+		res.Stats.ClusterQuality = 0
+	}
+
+	// Per-level coarsening, bottom-up: graphs[d] is the communication graph
+	// over depth-d blocks (graphs[L] = node tasks, graphs[0] = one vertex).
+	graphs := make([]*graph.Comm, L+1)
+	members := make([][][]int, L) // members[d][parent] = depth-(d+1) ids
+	graphs[L] = nodeGraph
+	for d := L - 1; d >= 0; d-- {
+		group := h.CubeSize(d)
+		c, err := cluster.Auto(graphs[d+1], gridDims, group)
+		if err != nil {
+			return nil, fmt.Errorf("core: level %d clustering: %w", d, err)
+		}
+		gridDims = c.GridDims
+		res.Stats.TileShapes = append(res.Stats.TileShapes, c.TileShape)
+		graphs[d] = c.Coarse
+		members[d] = make([][]int, c.NumClusters)
+		for v, cl := range c.Assign {
+			members[d][cl] = append(members[d][cl], v)
+		}
+		for _, m := range members[d] {
+			sort.Ints(m)
+		}
+	}
+	res.Stats.ClusterTime = time.Since(start)
+
+	// ---- Phase 2: top-down cube mapping --------------------------------
+	start = time.Now()
+	// pins[d][entity] = position of the depth-(d+1) entity within its
+	// parent's CubeShape(d) cube.
+	pins := make([][]int, L)
+	type mapCacheEntry struct{ mapping topology.Mapping }
+	mapCache := make(map[uint64]mapCacheEntry)
+	for d := 0; d < L; d++ {
+		count := entityCount(h, d+1)
+		pins[d] = make([]int, count)
+		shape := h.CubeShape(d)
+		for parent := range members[d] {
+			kids := members[d][parent]
+			local, _ := graphs[d+1].InducedSubgraph(kids)
+			res.Stats.Subproblems++
+			var mapping topology.Mapping
+			key := local.StructuralHash() ^ uint64(d)<<56
+			if e, ok := mapCache[key]; ok && !cfg.DisableSiblingReuse {
+				mapping = e.mapping
+				res.Stats.SubproblemsHit++
+			} else {
+				lc := cfg.Leaf
+				lc.Torus = d == 0 && anyWrap(t)
+				r, err := hiermap.Map(local, shape, lc)
+				if err != nil {
+					return nil, fmt.Errorf("core: phase 2 level %d: %w", d, err)
+				}
+				mapping = r.Mapping
+				res.Stats.LeafMethod = r.Method
+				mapCache[key] = mapCacheEntry{mapping: mapping}
+			}
+			for j, kid := range kids {
+				pins[d][kid] = mapping[j]
+			}
+		}
+	}
+	res.Stats.MapTime = time.Since(start)
+
+	// ---- Phase 3: bottom-up merging ------------------------------------
+	start = time.Now()
+	// Leaf blocks (depth L-1) come straight from Phase 2.
+	blocks := make([]*merge.Block, len(members[L-1]))
+	leafShape := h.CubeShape(L - 1)
+	for i, kids := range members[L-1] {
+		local := make(topology.Mapping, len(kids))
+		for j, kid := range kids {
+			local[j] = pins[L-1][kid]
+		}
+		sub, _ := nodeGraph.InducedSubgraph(kids)
+		mcl := hiermap.Evaluate(sub, leafShape, false, local)
+		blocks[i] = merge.NewLeafBlock(kids, leafShape, local, mcl)
+	}
+	mergeCache := make(map[uint64]*merge.Block)
+	for d := L - 2; d >= 0; d-- {
+		parents := members[d]
+		next := make([]*merge.Block, len(parents))
+		for i, kids := range parents {
+			children := make([]*merge.Block, len(kids))
+			childPos := make([]int, len(kids))
+			for j, kid := range kids {
+				children[j] = blocks[kid]
+				childPos[j] = pins[d][kid]
+			}
+			mc := cfg.Merge
+			if d == 0 {
+				mc.Torus = anyWrap(t)
+				if sameDims(t, h.BlockShape(0)) {
+					mc.Topology = t
+				}
+			}
+			res.Stats.Merges++
+			key := mergeKey(nodeGraph, children, childPos, d)
+			if cached, ok := mergeCache[key]; ok && !cfg.DisableSiblingReuse {
+				next[i] = translateBlock(cached, children)
+				res.Stats.MergesHit++
+				continue
+			}
+			m, err := merge.Merge(nodeGraph, children, h.CubeShape(d), childPos, mc)
+			if err != nil {
+				return nil, fmt.Errorf("core: phase 3 level %d: %w", d, err)
+			}
+			next[i] = m
+			mergeCache[key] = m
+		}
+		blocks = next
+	}
+	res.Stats.MergeTime = time.Since(start)
+
+	// ---- Final assembly -------------------------------------------------
+	// After the loop blocks[0] is the root block (for L == 1 the Phase 2
+	// root solution wrapped as a leaf block).
+	final := blocks[0]
+	best := final.Candidates[0]
+	res.Stats.CandidatesKept = len(final.Candidates)
+
+	// Block-local positions are row-major over BlockShape(0); when the
+	// block covers the whole machine this coincides with topology ranks.
+	if !sameDims(t, final.Shape) {
+		return nil, fmt.Errorf("core: final block shape %v does not cover topology %v", final.Shape, t)
+	}
+	res.NodeMapping = make(topology.Mapping, t.N())
+	for i, task := range final.Tasks {
+		res.NodeMapping[task] = best.Local[i]
+	}
+	if err := res.NodeMapping.Validate(t.N(), true); err != nil {
+		return nil, fmt.Errorf("core: produced invalid node mapping: %w", err)
+	}
+	res.NodeGraph = nodeGraph
+	res.MCL = routing.MaxChannelLoad(t, nodeGraph, res.NodeMapping, routing.MinimalAdaptive{})
+
+	// Safety net: the beam search is heuristic, and on workloads the
+	// default order already embeds perfectly it can land above it. Compare
+	// against the identity (default) node order and keep the better — the
+	// paper's evaluation never loses to ABCDET, and neither do we.
+	idMCL := routing.MaxChannelLoad(t, nodeGraph, topology.Identity(t.N()), routing.MinimalAdaptive{})
+	if idMCL < res.MCL {
+		res.NodeMapping = topology.Identity(t.N())
+		res.MCL = idMCL
+		res.Stats.DefaultFallback = true
+	}
+
+	res.ProcToNode = make(topology.Mapping, proc.N())
+	for p := 0; p < proc.N(); p++ {
+		res.ProcToNode[p] = res.NodeMapping[res.procToTask[p]]
+	}
+	return res, nil
+}
+
+func identity(n int) []int {
+	a := make([]int, n)
+	for i := range a {
+		a[i] = i
+	}
+	return a
+}
+
+func anyWrap(t *topology.Torus) bool {
+	for d := 0; d < t.NumDims(); d++ {
+		if t.Wrap(d) {
+			return true
+		}
+	}
+	return false
+}
+
+func sameDims(t *topology.Torus, shape []int) bool {
+	if t.NumDims() != len(shape) {
+		return false
+	}
+	for d := range shape {
+		if t.Dim(d) != shape[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// entityCount returns the number of blocks at the given depth.
+func entityCount(h *topology.Hierarchy, depth int) int {
+	n := 1
+	for l := 0; l < depth && l < h.NumLevels(); l++ {
+		n *= h.CubeSize(l)
+	}
+	return n
+}
+
+// mergeKey fingerprints a merge subproblem: the relabeled induced graph over
+// the union of child tasks, the child partition and pins, and the children's
+// own candidate structure.
+func mergeKey(g *graph.Comm, children []*merge.Block, childPos []int, depth int) uint64 {
+	var tasks []int
+	for _, c := range children {
+		tasks = append(tasks, c.Tasks...)
+	}
+	sort.Ints(tasks)
+	sub, local := g.InducedSubgraph(tasks)
+	key := sub.StructuralHash() ^ uint64(depth)<<48
+	for i, c := range children {
+		key = key*1099511628211 + uint64(childPos[i])
+		for _, t := range c.Tasks {
+			key = key*1099511628211 + uint64(local[t])
+		}
+		for _, cand := range c.Candidates {
+			for _, p := range cand.Local {
+				key = key*1099511628211 + uint64(p) + 7
+			}
+		}
+	}
+	return key
+}
+
+// translateBlock reuses a cached merged block for a structurally identical
+// sibling: positions carry over; task ids come from the sibling's children.
+func translateBlock(cached *merge.Block, children []*merge.Block) *merge.Block {
+	var tasks []int
+	for _, c := range children {
+		tasks = append(tasks, c.Tasks...)
+	}
+	sort.Ints(tasks)
+	out := &merge.Block{
+		Tasks: tasks,
+		Shape: append([]int(nil), cached.Shape...),
+	}
+	for _, cand := range cached.Candidates {
+		out.Candidates = append(out.Candidates, merge.Candidate{
+			Local: cand.Local.Clone(),
+			MCL:   cand.MCL,
+		})
+	}
+	return out
+}

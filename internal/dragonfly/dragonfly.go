@@ -1,0 +1,287 @@
+// Package dragonfly extends RAHTM's machinery to dragonfly topologies, the
+// second "other topology" §VI of the paper names. The model is the
+// canonical one-level dragonfly (Kim, Dally, Scott, Abts; ISCA 2008):
+//
+//   - g groups, each with a routers;
+//   - routers within a group fully connected (local links);
+//   - every router owns h global links; groups fully connected globally
+//     (a*h >= g-1), with the standard "palmtree" global link arrangement;
+//   - p hosts per router.
+//
+// Two routing models are provided:
+//
+//   - Minimal: local hop to the router owning the right global link, the
+//     global hop, then a local hop in the destination group (at most l-g-l);
+//   - Valiant: minimal routing through a uniformly random intermediate
+//     group — load-balancing at twice the path length, modelled as an even
+//     spread over intermediate groups.
+//
+// Mapping quality on a dragonfly is dominated by how much traffic stays
+// within routers and groups, so the RAHTM-style mapper is, as on fat trees,
+// recursive balanced min-cut clustering (hosts -> routers -> groups).
+package dragonfly
+
+import (
+	"fmt"
+
+	"rahtm/internal/cluster"
+	"rahtm/internal/graph"
+	"rahtm/internal/topology"
+)
+
+// Dragonfly describes the topology. Create instances with New.
+type Dragonfly struct {
+	groups  int // g
+	routers int // a: routers per group
+	hosts   int // p: hosts per router
+	global  int // h: global links per router
+}
+
+// New builds a dragonfly with g groups of a routers, p hosts per router and
+// h global links per router. The global link count must connect every group
+// pair: a*h >= g-1.
+func New(g, a, p, h int) (*Dragonfly, error) {
+	if g < 1 || a < 1 || p < 1 || h < 0 {
+		return nil, fmt.Errorf("dragonfly: bad parameters g=%d a=%d p=%d h=%d", g, a, p, h)
+	}
+	if g > 1 && a*h < g-1 {
+		return nil, fmt.Errorf("dragonfly: %d routers x %d global links cannot reach %d peer groups", a, h, g-1)
+	}
+	return &Dragonfly{groups: g, routers: a, hosts: p, global: h}, nil
+}
+
+// Hosts returns the total host count (g*a*p).
+func (d *Dragonfly) Hosts() int { return d.groups * d.routers * d.hosts }
+
+// Groups returns the group count.
+func (d *Dragonfly) Groups() int { return d.groups }
+
+// RoutersPerGroup returns routers per group.
+func (d *Dragonfly) RoutersPerGroup() int { return d.routers }
+
+// HostsPerRouter returns hosts per router.
+func (d *Dragonfly) HostsPerRouter() int { return d.hosts }
+
+// String implements fmt.Stringer.
+func (d *Dragonfly) String() string {
+	return fmt.Sprintf("dragonfly(g=%d a=%d p=%d h=%d, %d hosts)", d.groups, d.routers, d.hosts, d.global, d.Hosts())
+}
+
+// RouterOf returns the global router index of a host.
+func (d *Dragonfly) RouterOf(host int) int { return host / d.hosts }
+
+// GroupOf returns the group index of a host.
+func (d *Dragonfly) GroupOf(host int) int { return host / (d.hosts * d.routers) }
+
+// localRouter returns a router's index within its group.
+func (d *Dragonfly) localRouter(router int) int { return router % d.routers }
+
+// globalLinkOwner returns, for source group gs talking to destination group
+// gd (gs != gd), the in-group router index owning the direct global link,
+// using the palmtree arrangement: peer groups are enumerated in cyclic
+// order and dealt to routers round-robin.
+func (d *Dragonfly) globalLinkOwner(gs, gd int) int {
+	// Cyclic distance from gs to gd, 1..groups-1, minus one: the index of
+	// gd in gs's peer enumeration.
+	idx := ((gd-gs)%d.groups+d.groups)%d.groups - 1
+	return idx / d.global
+}
+
+// Link classes for dense load indexing.
+const (
+	linkHost   = 0 // host <-> router
+	linkLocal  = 1 // router <-> router within a group (undirected pair id)
+	linkGlobal = 2 // group <-> group (undirected pair id)
+)
+
+// NumLinks returns the dense load-vector size.
+func (d *Dragonfly) NumLinks() int {
+	nHost := d.Hosts()
+	nLocal := d.groups * d.routers * d.routers // ordered router pairs in-group
+	nGlobal := d.groups * d.groups             // ordered group pairs
+	return nHost + nLocal + nGlobal
+}
+
+// hostLinkID indexes the host link of host h.
+func (d *Dragonfly) hostLinkID(h int) int { return h }
+
+// localLinkID indexes the directed local link r1 -> r2 within group g
+// (local router indices).
+func (d *Dragonfly) localLinkID(g, r1, r2 int) int {
+	return d.Hosts() + (g*d.routers+r1)*d.routers + r2
+}
+
+// globalLinkID indexes the directed global channel g1 -> g2.
+func (d *Dragonfly) globalLinkID(g1, g2 int) int {
+	return d.Hosts() + d.groups*d.routers*d.routers + g1*d.groups + g2
+}
+
+// Routing selects the load model.
+type Routing int8
+
+// Routing models.
+const (
+	// Minimal routes l-g-l through the direct global link.
+	Minimal Routing = iota
+	// Valiant spreads each inter-group flow over all intermediate groups.
+	Valiant
+)
+
+// String implements fmt.Stringer.
+func (r Routing) String() string {
+	if r == Minimal {
+		return "minimal"
+	}
+	return "valiant"
+}
+
+// Loads computes the per-link load vector for graph g mapped by m.
+func (d *Dragonfly) Loads(gr *graph.Comm, m topology.Mapping, r Routing) ([]float64, error) {
+	if len(m) != gr.N() {
+		return nil, fmt.Errorf("dragonfly: mapping covers %d tasks, graph has %d", len(m), gr.N())
+	}
+	loads := make([]float64, d.NumLinks())
+	for _, fl := range gr.Flows() {
+		src, dst := m[fl.Src], m[fl.Dst]
+		if src < 0 || src >= d.Hosts() || dst < 0 || dst >= d.Hosts() {
+			return nil, fmt.Errorf("dragonfly: host out of range")
+		}
+		if src == dst {
+			continue
+		}
+		loads[d.hostLinkID(src)] += fl.Vol
+		loads[d.hostLinkID(dst)] += fl.Vol
+		rs, rd := d.RouterOf(src), d.RouterOf(dst)
+		if rs == rd {
+			continue // same router: host links only
+		}
+		gs, gd := d.GroupOf(src), d.GroupOf(dst)
+		if gs == gd {
+			// One local hop.
+			loads[d.localLinkID(gs, d.localRouter(rs), d.localRouter(rd))] += fl.Vol
+			continue
+		}
+		switch r {
+		case Minimal:
+			d.addMinimal(loads, gs, d.localRouter(rs), gd, d.localRouter(rd), fl.Vol)
+		case Valiant:
+			// Spread over all intermediate groups (including the trivial
+			// direct one, following the classic UGAL-style average).
+			share := fl.Vol / float64(d.groups)
+			for gi := 0; gi < d.groups; gi++ {
+				switch gi {
+				case gs, gd:
+					// Counts as the direct minimal path.
+					d.addMinimal(loads, gs, d.localRouter(rs), gd, d.localRouter(rd), share)
+				default:
+					// src group -> gi: arrives at gi's entry router, then
+					// gi -> dst group.
+					entry := d.globalLinkOwner(gi, gs) // router receiving from gs side? modelled as owner of gi->gs link
+					d.addMinimal(loads, gs, d.localRouter(rs), gi, entry, share)
+					d.addMinimal(loads, gi, entry, gd, d.localRouter(rd), share)
+				}
+			}
+		}
+	}
+	return loads, nil
+}
+
+// addMinimal adds one minimal l-g-l path's loads from (group gs, local
+// router ls) to (group gd, local router ld).
+func (d *Dragonfly) addMinimal(loads []float64, gs, ls, gd, ld int, vol float64) {
+	if gs == gd {
+		if ls != ld {
+			loads[d.localLinkID(gs, ls, ld)] += vol
+		}
+		return
+	}
+	owner := d.globalLinkOwner(gs, gd)
+	if ls != owner {
+		loads[d.localLinkID(gs, ls, owner)] += vol
+	}
+	loads[d.globalLinkID(gs, gd)] += vol
+	dstOwner := d.globalLinkOwner(gd, gs)
+	if dstOwner != ld {
+		loads[d.localLinkID(gd, dstOwner, ld)] += vol
+	}
+}
+
+// MCL returns the maximum load over local and global links (host links are
+// mapping-invariant and excluded, as in fat trees).
+func (d *Dragonfly) MCL(gr *graph.Comm, m topology.Mapping, r Routing) (float64, error) {
+	loads, err := d.Loads(gr, m, r)
+	if err != nil {
+		return 0, err
+	}
+	max := 0.0
+	for id := d.Hosts(); id < len(loads); id++ {
+		if loads[id] > max {
+			max = loads[id]
+		}
+	}
+	return max, nil
+}
+
+// GlobalMCL returns the maximum global-link load only — the scarce resource
+// of a dragonfly.
+func (d *Dragonfly) GlobalMCL(gr *graph.Comm, m topology.Mapping, r Routing) (float64, error) {
+	loads, err := d.Loads(gr, m, r)
+	if err != nil {
+		return 0, err
+	}
+	max := 0.0
+	for id := d.Hosts() + d.groups*d.routers*d.routers; id < len(loads); id++ {
+		if loads[id] > max {
+			max = loads[id]
+		}
+	}
+	return max, nil
+}
+
+// Map runs the dragonfly variant of RAHTM: hierarchical min-cut clustering
+// of the task graph into routers (groups of p) and then groups (groups of
+// a), confining heavy traffic at the cheapest level. Requires p and a to be
+// powers of two when no grid is given (the greedy clusterer's constraint).
+func (d *Dragonfly) Map(gr *graph.Comm, gridDims []int) (topology.Mapping, error) {
+	if gr.N() != d.Hosts() {
+		return nil, fmt.Errorf("dragonfly: %d tasks for %d hosts", gr.N(), d.Hosts())
+	}
+	// Level 1: hosts per router; level 2: routers per group.
+	res1, err := cluster.Auto(gr, gridDims, d.hosts)
+	if err != nil {
+		return nil, fmt.Errorf("dragonfly: router clustering: %w", err)
+	}
+	res2, err := cluster.Auto(res1.Coarse, res1.GridDims, d.routers)
+	if err != nil {
+		return nil, fmt.Errorf("dragonfly: group clustering: %w", err)
+	}
+	// Host id = ((group*routers)+routerInGroup)*hosts + slot.
+	routerPos := make([]int, res1.NumClusters) // router cluster -> index within its group
+	seenR := make(map[int]int, res2.NumClusters)
+	for rc := 0; rc < res1.NumClusters; rc++ {
+		grp := res2.Assign[rc]
+		routerPos[rc] = seenR[grp]
+		seenR[grp]++
+	}
+	for _, c := range seenR {
+		if c != d.routers {
+			return nil, fmt.Errorf("dragonfly: group received %d routers, want %d", c, d.routers)
+		}
+	}
+	slot := make(map[int]int, res1.NumClusters)
+	m := make(topology.Mapping, gr.N())
+	for task := 0; task < gr.N(); task++ {
+		rc := res1.Assign[task]
+		grp := res2.Assign[rc]
+		s := slot[rc]
+		slot[rc]++
+		if s >= d.hosts {
+			return nil, fmt.Errorf("dragonfly: router overfilled")
+		}
+		m[task] = (grp*d.routers+routerPos[rc])*d.hosts + s
+	}
+	if err := m.Validate(d.Hosts(), true); err != nil {
+		return nil, fmt.Errorf("dragonfly: produced invalid mapping: %w", err)
+	}
+	return m, nil
+}

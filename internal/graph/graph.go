@@ -1,0 +1,340 @@
+// Package graph provides weighted directed communication graphs: the
+// application-side input of the RAHTM mapping problem. Vertices are MPI
+// process ranks (or, after clustering, cluster ids); edge weights are
+// communication volumes in arbitrary byte-like units.
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Flow is one directed communication demand.
+type Flow struct {
+	Src, Dst int
+	Vol      float64
+}
+
+// Comm is a weighted directed communication graph over N vertices.
+// The zero value is unusable; create instances with New.
+type Comm struct {
+	n   int
+	adj []map[int]float64 // adj[s][d] = volume, self-edges excluded
+}
+
+// New returns an empty communication graph over n vertices.
+func New(n int) *Comm {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	return &Comm{n: n, adj: make([]map[int]float64, n)}
+}
+
+// N returns the vertex count.
+func (g *Comm) N() int { return g.n }
+
+// AddTraffic adds vol to the directed edge s->d. Self-traffic and
+// non-positive volumes are ignored (self-traffic never crosses the network).
+func (g *Comm) AddTraffic(s, d int, vol float64) {
+	g.check(s)
+	g.check(d)
+	if s == d || vol <= 0 {
+		return
+	}
+	if g.adj[s] == nil {
+		g.adj[s] = make(map[int]float64)
+	}
+	g.adj[s][d] += vol
+}
+
+// Traffic returns the volume on the directed edge s->d (0 when absent).
+func (g *Comm) Traffic(s, d int) float64 {
+	g.check(s)
+	g.check(d)
+	return g.adj[s][d]
+}
+
+func (g *Comm) check(v int) {
+	if v < 0 || v >= g.n {
+		panic(fmt.Sprintf("graph: vertex %d out of range [0,%d)", v, g.n))
+	}
+}
+
+// NumEdges returns the number of directed edges with positive volume.
+func (g *Comm) NumEdges() int {
+	m := 0
+	for _, a := range g.adj {
+		m += len(a)
+	}
+	return m
+}
+
+// TotalVolume returns the sum of all edge volumes.
+func (g *Comm) TotalVolume() float64 {
+	tot := 0.0
+	for _, a := range g.adj {
+		for _, v := range a {
+			tot += v
+		}
+	}
+	return tot
+}
+
+// Flows returns every directed edge in deterministic (src, dst) order.
+func (g *Comm) Flows() []Flow {
+	out := make([]Flow, 0, g.NumEdges())
+	for s, a := range g.adj {
+		if len(a) == 0 {
+			continue
+		}
+		dsts := make([]int, 0, len(a))
+		for d := range a {
+			dsts = append(dsts, d)
+		}
+		sort.Ints(dsts)
+		for _, d := range dsts {
+			out = append(out, Flow{Src: s, Dst: d, Vol: a[d]})
+		}
+	}
+	return out
+}
+
+// Neighbors returns the out-neighbors of s in ascending order.
+func (g *Comm) Neighbors(s int) []int {
+	g.check(s)
+	out := make([]int, 0, len(g.adj[s]))
+	for d := range g.adj[s] {
+		out = append(out, d)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// OutVolume returns the total volume originating at s.
+func (g *Comm) OutVolume(s int) float64 {
+	g.check(s)
+	tot := 0.0
+	for _, v := range g.adj[s] {
+		tot += v
+	}
+	return tot
+}
+
+// Symmetrized returns a new graph with w'(s,d) = w'(d,s) = (w(s,d)+w(d,s))/2.
+// Several mapping heuristics assume symmetric demand.
+func (g *Comm) Symmetrized() *Comm {
+	out := New(g.n)
+	for s, a := range g.adj {
+		for d, v := range a {
+			half := v / 2
+			out.AddTraffic(s, d, half)
+			out.AddTraffic(d, s, half)
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy.
+func (g *Comm) Clone() *Comm {
+	out := New(g.n)
+	for s, a := range g.adj {
+		for d, v := range a {
+			out.AddTraffic(s, d, v)
+		}
+	}
+	return out
+}
+
+// Scale returns a copy with every volume multiplied by f (> 0).
+func (g *Comm) Scale(f float64) *Comm {
+	if f <= 0 {
+		panic("graph: non-positive scale factor")
+	}
+	out := New(g.n)
+	for s, a := range g.adj {
+		for d, v := range a {
+			out.AddTraffic(s, d, v*f)
+		}
+	}
+	return out
+}
+
+// Coarsen merges vertices according to assign (len N, values in [0, parts))
+// and returns the cluster-level graph: volume between clusters a != b is the
+// sum of volumes between their members; intra-cluster volume is dropped
+// (it becomes on-node shared-memory traffic). Also returns the total volume
+// that became intra-cluster, the quantity Phase 1 tiling minimizes the
+// complement of.
+func (g *Comm) Coarsen(assign []int, parts int) (*Comm, float64) {
+	if len(assign) != g.n {
+		panic("graph: assignment length mismatch")
+	}
+	out := New(parts)
+	intra := 0.0
+	for s, a := range g.adj {
+		cs := assign[s]
+		if cs < 0 || cs >= parts {
+			panic(fmt.Sprintf("graph: assignment %d for vertex %d out of range", cs, s))
+		}
+		for d, v := range a {
+			cd := assign[d]
+			if cs == cd {
+				intra += v
+			} else {
+				out.AddTraffic(cs, cd, v)
+			}
+		}
+	}
+	return out, intra
+}
+
+// InducedSubgraph returns the subgraph over the given vertices (in the given
+// order; result vertex i corresponds to verts[i]), keeping only edges with
+// both endpoints inside. The second return value maps original -> local ids.
+func (g *Comm) InducedSubgraph(verts []int) (*Comm, map[int]int) {
+	local := make(map[int]int, len(verts))
+	for i, v := range verts {
+		g.check(v)
+		if _, dup := local[v]; dup {
+			panic("graph: duplicate vertex in InducedSubgraph")
+		}
+		local[v] = i
+	}
+	out := New(len(verts))
+	for _, v := range verts {
+		for d, w := range g.adj[v] {
+			if ld, ok := local[d]; ok {
+				out.AddTraffic(local[v], ld, w)
+			}
+		}
+	}
+	return out, local
+}
+
+// Permuted returns the graph relabelled by perm: vertex v becomes perm[v].
+func (g *Comm) Permuted(perm []int) *Comm {
+	if len(perm) != g.n {
+		panic("graph: permutation length mismatch")
+	}
+	out := New(g.n)
+	for s, a := range g.adj {
+		for d, v := range a {
+			out.AddTraffic(perm[s], perm[d], v)
+		}
+	}
+	return out
+}
+
+// Equal reports whether the two graphs have identical vertex counts and edge
+// volumes within tol.
+func (g *Comm) Equal(h *Comm, tol float64) bool {
+	if g.n != h.n {
+		return false
+	}
+	for s := 0; s < g.n; s++ {
+		for d, v := range g.adj[s] {
+			if math.Abs(v-h.Traffic(s, d)) > tol {
+				return false
+			}
+		}
+		for d, v := range h.adj[s] {
+			if math.Abs(v-g.Traffic(s, d)) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// StructuralHash returns a hash of the graph's exact edge structure (vertex
+// ids, edge volumes quantized to 1e-9). RAHTM's merge phase uses it to reuse
+// solutions across sibling subproblems with identical local communication.
+func (g *Comm) StructuralHash() uint64 {
+	h := fnv.New64a()
+	var buf [24]byte
+	put := func(a, b int, v float64) {
+		q := int64(math.Round(v * 1e9))
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(a >> (8 * i))
+			buf[8+i] = byte(b >> (8 * i))
+			buf[16+i] = byte(q >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	put(g.n, 0, 0)
+	for _, f := range g.Flows() {
+		put(f.Src, f.Dst, f.Vol)
+	}
+	return h.Sum64()
+}
+
+// WriteTo serializes the graph in a plain text format:
+//
+//	comm <n>
+//	<src> <dst> <vol>
+//	...
+//
+// Returns the byte count written.
+func (g *Comm) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	n, err := fmt.Fprintf(w, "comm %d\n", g.n)
+	total += int64(n)
+	if err != nil {
+		return total, err
+	}
+	for _, f := range g.Flows() {
+		n, err = fmt.Fprintf(w, "%d %d %g\n", f.Src, f.Dst, f.Vol)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// Read parses the format produced by WriteTo.
+func Read(r io.Reader) (*Comm, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("graph: empty input")
+	}
+	head := strings.Fields(sc.Text())
+	if len(head) != 2 || head[0] != "comm" {
+		return nil, fmt.Errorf("graph: bad header %q", sc.Text())
+	}
+	n, err := strconv.Atoi(head[1])
+	if err != nil || n < 0 {
+		return nil, fmt.Errorf("graph: bad vertex count %q", head[1])
+	}
+	g := New(n)
+	line := 1
+	for sc.Scan() {
+		line++
+		txt := strings.TrimSpace(sc.Text())
+		if txt == "" || strings.HasPrefix(txt, "#") {
+			continue
+		}
+		fields := strings.Fields(txt)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("graph: line %d: want 'src dst vol', got %q", line, txt)
+		}
+		s, err1 := strconv.Atoi(fields[0])
+		d, err2 := strconv.Atoi(fields[1])
+		v, err3 := strconv.ParseFloat(fields[2], 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("graph: line %d: parse error in %q", line, txt)
+		}
+		if s < 0 || s >= n || d < 0 || d >= n {
+			return nil, fmt.Errorf("graph: line %d: vertex out of range in %q", line, txt)
+		}
+		g.AddTraffic(s, d, v)
+	}
+	return g, sc.Err()
+}

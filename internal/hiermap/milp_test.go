@@ -1,0 +1,99 @@
+package hiermap
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"rahtm/internal/graph"
+	"rahtm/internal/topology"
+)
+
+func TestMILPTrivialTwoNodeShape(t *testing.T) {
+	g := graph.New(2)
+	g.AddTraffic(0, 1, 6)
+	res, err := Map(g, []int{2, 1}, Config{Method: MILP, MILPDeadline: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Proved {
+		t.Fatal("trivial MILP should prove optimality")
+	}
+	if math.Abs(res.MCL-6) > 1e-9 {
+		t.Fatalf("MCL = %v, want 6", res.MCL)
+	}
+}
+
+func TestMILPTorusCapacityHalvesLoad(t *testing.T) {
+	// The paper's root-level trick: a 2-ary torus is a 2-ary mesh with
+	// double-wide links. Result.MCL reports the uniform-split model on the
+	// torus (split across the pair), i.e. half the mesh load.
+	g := graph.New(2)
+	g.AddTraffic(0, 1, 8)
+	mesh, err := Map(g, []int{2, 1}, Config{Method: MILP, MILPDeadline: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	torus, err := Map(g, []int{2, 1}, Config{Method: MILP, MILPDeadline: time.Minute, Torus: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mesh.MCL-8) > 1e-9 || math.Abs(torus.MCL-4) > 1e-9 {
+		t.Fatalf("mesh MCL %v (want 8), torus MCL %v (want 4)", mesh.MCL, torus.MCL)
+	}
+}
+
+func TestMILPEmptyGraph(t *testing.T) {
+	// No flows: any placement is optimal with MCL 0.
+	g := graph.New(4)
+	res, err := Map(g, []int{2, 2}, Config{Method: MILP, MILPDeadline: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MCL != 0 {
+		t.Fatalf("MCL = %v, want 0", res.MCL)
+	}
+	if err := res.Mapping.Validate(4, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMILPDeadlineStillReturnsMapping(t *testing.T) {
+	// An aggressive deadline must still yield a feasible placement (from
+	// the annealing incumbent), just possibly unproved.
+	g := graph.New(4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if i != j {
+				g.AddTraffic(i, j, float64(1+(i*3+j)%5))
+			}
+		}
+	}
+	res, err := Map(g, []int{2, 2}, Config{Method: MILP, MILPDeadline: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Mapping.Validate(4, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMILPSymmetryPinRespected(t *testing.T) {
+	// The symmetry-breaking constraint pins cluster 0 to vertex 0; the
+	// solution must honor it (any optimum can be rotated to this form).
+	g := graph.New(4)
+	g.AddTraffic(2, 3, 10)
+	g.AddTraffic(0, 1, 1)
+	res, err := Map(g, []int{2, 2}, Config{Method: MILP, MILPDeadline: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mapping[0] != 0 {
+		t.Fatalf("cluster 0 at vertex %d, pin requires 0", res.Mapping[0])
+	}
+	// And the heavy pair still lands on a diagonal.
+	mesh := topology.NewMesh(2, 2)
+	if mesh.MinDistance(res.Mapping[2], res.Mapping[3]) != 2 {
+		t.Fatalf("heavy pair not diagonal: %v", res.Mapping)
+	}
+}

@@ -1,0 +1,134 @@
+// Package hilbert provides d-dimensional Hilbert space-filling curves using
+// Skilling's transpose algorithm ("Programming the Hilbert curve", AIP
+// Conference Proceedings 707, 2004). The paper's Hilbert baseline mapping
+// traverses the square sub-space of the torus (the 4-long A..D dimensions of
+// BG/Q) in Hilbert order for locality.
+package hilbert
+
+import "fmt"
+
+// Index returns the Hilbert index of the point x on a curve with 2^bits
+// cells per dimension. Each coordinate must lie in [0, 2^bits).
+func Index(bits int, x []int) uint64 {
+	n := len(x)
+	checkArgs(bits, n)
+	X := make([]uint32, n)
+	for i, v := range x {
+		if v < 0 || v >= 1<<bits {
+			panic(fmt.Sprintf("hilbert: coordinate %d out of range [0,%d)", v, 1<<bits))
+		}
+		X[i] = uint32(v)
+	}
+	axesToTranspose(X, bits)
+	// Interleave: bit j of X[i] contributes to index bit (j*n + (n-1-i)).
+	var h uint64
+	for j := bits - 1; j >= 0; j-- {
+		for i := 0; i < n; i++ {
+			h = h<<1 | uint64(X[i]>>uint(j)&1)
+		}
+	}
+	return h
+}
+
+// Point inverts Index: it returns the coordinates of the h-th cell of the
+// dims-dimensional Hilbert curve with 2^bits cells per dimension.
+func Point(bits, dims int, h uint64) []int {
+	checkArgs(bits, dims)
+	if dims*bits < 64 && h >= 1<<uint(dims*bits) {
+		panic(fmt.Sprintf("hilbert: index %d out of range [0,2^%d)", h, dims*bits))
+	}
+	X := make([]uint32, dims)
+	// De-interleave.
+	for j := bits - 1; j >= 0; j-- {
+		for i := 0; i < dims; i++ {
+			shift := uint(j*dims + (dims - 1 - i))
+			X[i] |= uint32(h>>shift&1) << uint(j)
+		}
+	}
+	transposeToAxes(X, bits)
+	out := make([]int, dims)
+	for i, v := range X {
+		out[i] = int(v)
+	}
+	return out
+}
+
+func checkArgs(bits, dims int) {
+	if bits < 1 || bits > 31 {
+		panic(fmt.Sprintf("hilbert: bits %d out of range [1,31]", bits))
+	}
+	if dims < 1 {
+		panic("hilbert: need at least one dimension")
+	}
+	if dims*bits > 64 {
+		panic(fmt.Sprintf("hilbert: %d dims x %d bits exceeds 64-bit indices", dims, bits))
+	}
+}
+
+// axesToTranspose converts coordinates into Skilling transpose form.
+func axesToTranspose(x []uint32, bits int) {
+	n := len(x)
+	m := uint32(1) << uint(bits-1)
+	// Inverse undo.
+	for q := m; q > 1; q >>= 1 {
+		p := q - 1
+		for i := 0; i < n; i++ {
+			if x[i]&q != 0 {
+				x[0] ^= p
+			} else {
+				t := (x[0] ^ x[i]) & p
+				x[0] ^= t
+				x[i] ^= t
+			}
+		}
+	}
+	// Gray encode.
+	for i := 1; i < n; i++ {
+		x[i] ^= x[i-1]
+	}
+	var t uint32
+	for q := m; q > 1; q >>= 1 {
+		if x[n-1]&q != 0 {
+			t ^= q - 1
+		}
+	}
+	for i := 0; i < n; i++ {
+		x[i] ^= t
+	}
+}
+
+// transposeToAxes inverts axesToTranspose.
+func transposeToAxes(x []uint32, bits int) {
+	n := len(x)
+	nBig := uint32(2) << uint(bits-1)
+	// Gray decode by H ^ (H/2).
+	t := x[n-1] >> 1
+	for i := n - 1; i > 0; i-- {
+		x[i] ^= x[i-1]
+	}
+	x[0] ^= t
+	// Undo excess work.
+	for q := uint32(2); q != nBig; q <<= 1 {
+		p := q - 1
+		for i := n - 1; i >= 0; i-- {
+			if x[i]&q != 0 {
+				x[0] ^= p
+			} else {
+				t := (x[0] ^ x[i]) & p
+				x[0] ^= t
+				x[i] ^= t
+			}
+		}
+	}
+}
+
+// Order returns all 2^(bits*dims) grid points in Hilbert-curve order.
+func Order(bits, dims int) [][]int {
+	checkArgs(bits, dims)
+	total := uint64(1) << uint(bits*dims)
+	out := make([][]int, total)
+	for h := uint64(0); h < total; h++ {
+		out[h] = Point(bits, dims, h)
+	}
+	return out
+}

@@ -1,0 +1,130 @@
+package hilbert
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIndexPointRoundTrip(t *testing.T) {
+	cases := []struct{ bits, dims int }{
+		{1, 2}, {2, 2}, {3, 2}, {1, 3}, {2, 3}, {2, 4}, {1, 5},
+	}
+	for _, c := range cases {
+		total := uint64(1) << uint(c.bits*c.dims)
+		for h := uint64(0); h < total; h++ {
+			p := Point(c.bits, c.dims, h)
+			if got := Index(c.bits, p); got != h {
+				t.Fatalf("bits=%d dims=%d: Index(Point(%d)) = %d", c.bits, c.dims, h, got)
+			}
+		}
+	}
+}
+
+func TestCurveIsBijective(t *testing.T) {
+	bits, dims := 2, 3
+	total := 1 << uint(bits*dims)
+	seen := make(map[[3]int]bool, total)
+	for h := 0; h < total; h++ {
+		p := Point(bits, dims, uint64(h))
+		key := [3]int{p[0], p[1], p[2]}
+		if seen[key] {
+			t.Fatalf("point %v visited twice", p)
+		}
+		seen[key] = true
+	}
+	if len(seen) != total {
+		t.Fatalf("visited %d points, want %d", len(seen), total)
+	}
+}
+
+func TestCurveAdjacency(t *testing.T) {
+	// The defining Hilbert property: consecutive indices are grid neighbors
+	// (L1 distance exactly 1).
+	for _, c := range []struct{ bits, dims int }{{2, 2}, {3, 2}, {2, 3}, {1, 4}, {2, 4}} {
+		total := 1 << uint(c.bits*c.dims)
+		prev := Point(c.bits, c.dims, 0)
+		for h := 1; h < total; h++ {
+			cur := Point(c.bits, c.dims, uint64(h))
+			dist := 0
+			for d := range cur {
+				dd := cur[d] - prev[d]
+				if dd < 0 {
+					dd = -dd
+				}
+				dist += dd
+			}
+			if dist != 1 {
+				t.Fatalf("bits=%d dims=%d: steps %d->%d jump distance %d (%v -> %v)",
+					c.bits, c.dims, h-1, h, dist, prev, cur)
+			}
+			prev = cur
+		}
+	}
+}
+
+func TestCurveStartsAtOrigin(t *testing.T) {
+	for _, c := range []struct{ bits, dims int }{{1, 2}, {2, 2}, {2, 3}} {
+		p := Point(c.bits, c.dims, 0)
+		for _, v := range p {
+			if v != 0 {
+				t.Fatalf("bits=%d dims=%d: curve starts at %v, want origin", c.bits, c.dims, p)
+			}
+		}
+	}
+}
+
+func TestOrder(t *testing.T) {
+	pts := Order(1, 2)
+	if len(pts) != 4 {
+		t.Fatalf("Order(1,2) has %d points", len(pts))
+	}
+	// 2x2 Hilbert: (0,0) -> (0,1) -> (1,1) -> (1,0).
+	want := [][]int{{0, 0}, {0, 1}, {1, 1}, {1, 0}}
+	for i := range want {
+		if pts[i][0] != want[i][0] || pts[i][1] != want[i][1] {
+			t.Fatalf("Order(1,2) = %v, want %v", pts, want)
+		}
+	}
+}
+
+func TestArgumentValidation(t *testing.T) {
+	mustPanic := func(f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		f()
+	}
+	mustPanic(func() { Index(0, []int{0}) })
+	mustPanic(func() { Index(2, []int{4, 0}) })
+	mustPanic(func() { Point(2, 0, 0) })
+	mustPanic(func() { Point(2, 2, 16) })
+	mustPanic(func() { Index(33, []int{0}) })
+}
+
+// Property: round trip holds for random bits/dims/coords.
+func TestQuickRoundTrip(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dims := 1 + rng.Intn(5)
+		bits := 1 + rng.Intn(3)
+		x := make([]int, dims)
+		for i := range x {
+			x[i] = rng.Intn(1 << uint(bits))
+		}
+		h := Index(bits, x)
+		p := Point(bits, dims, h)
+		for i := range x {
+			if p[i] != x[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,272 @@
+package lp
+
+import (
+	"math"
+)
+
+// solveSimplex runs the dense two-phase primal simplex method on p.
+//
+// The tableau layout is the classic one: m constraint rows over columns
+// [structural | slack/surplus | artificial | rhs], plus an objective row kept
+// in reduced-cost form. Rows are normalized so every right-hand side is
+// non-negative before slack and artificial columns are attached.
+func solveSimplex(p *Problem, opt Options) (*Solution, error) {
+	tol := opt.Tol
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	m := len(p.rows)
+	n := p.n
+
+	// Column layout.
+	numSlack := 0
+	for _, r := range p.rows {
+		if r.sense != EQ {
+			numSlack++
+		}
+	}
+	// Every row gets an artificial column; redundant ones are priced out in
+	// phase 1 and never re-enter (simpler and robust, at a small size cost).
+	numArt := m
+	cols := n + numSlack + numArt
+
+	// Dense tableau: t[i] is row i with cols+1 entries (last = rhs).
+	t := make([][]float64, m)
+	basis := make([]int, m)
+	slackAt := n
+	artAt := n + numSlack
+
+	maxAbs := 1.0
+	for i, r := range p.rows {
+		ti := make([]float64, cols+1)
+		sgn := 1.0
+		rhs := r.rhs
+		sense := r.sense
+		if rhs < 0 {
+			sgn = -1
+			rhs = -rhs
+			switch sense {
+			case LE:
+				sense = GE
+			case GE:
+				sense = LE
+			}
+		}
+		for _, term := range r.terms {
+			ti[term.Var] += sgn * term.Coef
+			if a := math.Abs(term.Coef); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		ti[cols] = rhs
+		if a := math.Abs(rhs); a > maxAbs {
+			maxAbs = a
+		}
+		switch sense {
+		case LE:
+			ti[slackAt] = 1
+			slackAt++
+		case GE:
+			ti[slackAt] = -1
+			slackAt++
+		}
+		ti[artAt+i] = 1
+		basis[i] = artAt + i
+		t[i] = ti
+	}
+
+	ftol := tol * maxAbs // feasibility tolerance scaled to data magnitude
+
+	maxIters := opt.MaxIters
+	if maxIters <= 0 {
+		maxIters = 2000 + 40*(m+cols)
+	}
+
+	sol := &Solution{X: make([]float64, n)}
+
+	// Phase 1: minimize the sum of artificial variables.
+	obj1 := make([]float64, cols+1)
+	for j := artAt; j < artAt+numArt; j++ {
+		obj1[j] = 1
+	}
+	// Price out the basic artificial columns.
+	for i := 0; i < m; i++ {
+		for j := 0; j <= cols; j++ {
+			obj1[j] -= t[i][j]
+		}
+	}
+	it, st := pivotLoop(t, basis, obj1, cols, artAt, maxIters, tol)
+	sol.Iters += it
+	if st == IterLimit {
+		sol.Status = IterLimit
+		return sol, nil
+	}
+	// -obj1[cols] is the phase-1 objective value (sum of artificials).
+	if -obj1[cols] > ftol*float64(m+1) {
+		sol.Status = Infeasible
+		return sol, nil
+	}
+	// Drive any artificial variables remaining in the basis out of it, or
+	// zero their rows if the row is redundant.
+	for i := 0; i < m; i++ {
+		if basis[i] < artAt {
+			continue
+		}
+		pivoted := false
+		for j := 0; j < artAt; j++ {
+			if math.Abs(t[i][j]) > 1e-7 {
+				pivot(t, basis, nil, i, j, cols)
+				pivoted = true
+				break
+			}
+		}
+		if !pivoted {
+			// Redundant row: keep the artificial basic at value zero. It can
+			// never grow because phase 2 bars artificial columns from
+			// entering and the rhs stays ~0.
+			t[i][cols] = 0
+		}
+	}
+
+	// Phase 2: minimize the true objective, artificial columns barred.
+	obj2 := make([]float64, cols+1)
+	for j := 0; j < n; j++ {
+		obj2[j] = p.obj[j]
+	}
+	obj2[cols] = 0
+	// Price out the basic columns.
+	for i := 0; i < m; i++ {
+		cb := obj2[basis[i]]
+		if cb == 0 {
+			continue
+		}
+		for j := 0; j <= cols; j++ {
+			obj2[j] -= cb * t[i][j]
+		}
+	}
+	it, st = pivotLoop(t, basis, obj2, cols, artAt, maxIters-sol.Iters, tol)
+	sol.Iters += it
+	switch st {
+	case IterLimit, Unbounded:
+		sol.Status = st
+		return sol, nil
+	}
+
+	for i := 0; i < m; i++ {
+		if basis[i] < n {
+			sol.X[basis[i]] = t[i][cols]
+		}
+	}
+	// Clamp solver noise.
+	for j := range sol.X {
+		if sol.X[j] < 0 && sol.X[j] > -ftol*10 {
+			sol.X[j] = 0
+		}
+	}
+	sol.Objective = p.Value(sol.X)
+	sol.Status = Optimal
+	return sol, nil
+}
+
+// pivotLoop runs simplex pivots on the tableau until the reduced costs in
+// obj are all >= -tol (optimal), the problem proves unbounded, or the
+// iteration budget runs out. Columns >= artBar may not enter the basis when
+// artBar >= 0 (used to bar artificial columns in phase 2; pass cols to allow
+// everything). Returns the iteration count and a status in
+// {Optimal, Unbounded, IterLimit}.
+func pivotLoop(t [][]float64, basis []int, obj []float64, cols, artBar, maxIters int, tol float64) (int, Status) {
+	m := len(t)
+	iters := 0
+	// Switch to Bland's rule after a stall to guarantee termination.
+	blandAfter := 4 * (m + cols)
+	noImprove := 0
+	lastObj := -obj[cols]
+	for {
+		if iters >= maxIters {
+			return iters, IterLimit
+		}
+		// Entering column.
+		enter := -1
+		if noImprove < blandAfter {
+			best := -tol
+			for j := 0; j < artBar; j++ {
+				if obj[j] < best {
+					best = obj[j]
+					enter = j
+				}
+			}
+		} else {
+			for j := 0; j < artBar; j++ {
+				if obj[j] < -tol {
+					enter = j
+					break
+				}
+			}
+		}
+		if enter < 0 {
+			return iters, Optimal
+		}
+		// Ratio test (leaving row); Bland tie-break on basis index.
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < m; i++ {
+			a := t[i][enter]
+			if a <= tol {
+				continue
+			}
+			r := t[i][cols] / a
+			if r < bestRatio-tol || (r < bestRatio+tol && (leave < 0 || basis[i] < basis[leave])) {
+				bestRatio = r
+				leave = i
+			}
+		}
+		if leave < 0 {
+			return iters, Unbounded
+		}
+		pivot(t, basis, obj, leave, enter, cols)
+		iters++
+		cur := -obj[cols]
+		if cur < lastObj-tol {
+			noImprove = 0
+			lastObj = cur
+		} else {
+			noImprove++
+		}
+	}
+}
+
+// pivot performs a full tableau pivot on (row, col), updating the basis and,
+// when obj is non-nil, the objective row.
+func pivot(t [][]float64, basis []int, obj []float64, row, col, cols int) {
+	pr := t[row]
+	pv := pr[col]
+	inv := 1.0 / pv
+	for j := 0; j <= cols; j++ {
+		pr[j] *= inv
+	}
+	pr[col] = 1 // kill round-off on the pivot element
+	for i := range t {
+		if i == row {
+			continue
+		}
+		f := t[i][col]
+		if f == 0 {
+			continue
+		}
+		ri := t[i]
+		for j := 0; j <= cols; j++ {
+			ri[j] -= f * pr[j]
+		}
+		ri[col] = 0
+	}
+	if obj != nil {
+		f := obj[col]
+		if f != 0 {
+			for j := 0; j <= cols; j++ {
+				obj[j] -= f * pr[j]
+			}
+			obj[col] = 0
+		}
+	}
+	basis[row] = col
+}

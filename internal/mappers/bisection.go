@@ -1,0 +1,178 @@
+package mappers
+
+import (
+	"fmt"
+	"sort"
+
+	"rahtm/internal/graph"
+	"rahtm/internal/topology"
+	"rahtm/internal/workload"
+)
+
+// RecursiveBisection is a Chaco-style topology-aware mapper: it recursively
+// bisects the task graph (minimizing cut volume with a Kernighan-Lin-style
+// refinement) in lock-step with a geometric bisection of the topology along
+// its longest dimension. It is topology-aware but routing-unaware — the
+// classic partitioning family the paper positions RAHTM against.
+type RecursiveBisection struct {
+	// Passes is the number of KL refinement passes per bisection (0 = 4).
+	Passes int
+	// Seed reserved for future randomized refinement; the implementation
+	// is currently deterministic.
+	Seed int64
+}
+
+// Name implements Mapper.
+func (RecursiveBisection) Name() string { return "recursive-bisection" }
+
+// MapProcs implements Mapper.
+func (r RecursiveBisection) MapProcs(w *workload.Workload, t *topology.Torus, conc int) (topology.Mapping, error) {
+	if err := checkSize(w, t, conc); err != nil {
+		return nil, err
+	}
+	passes := r.Passes
+	if passes <= 0 {
+		passes = 4
+	}
+	m := make(topology.Mapping, w.Procs())
+	tasks := make([]int, w.Procs())
+	for i := range tasks {
+		tasks[i] = i
+	}
+	box := topology.Box{Origin: make([]int, t.NumDims()), Shape: t.Dims()}
+	if err := bisectAssign(w.Graph, t, tasks, box, conc, passes, m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// bisectAssign recursively splits tasks and box together until the box is a
+// single node, then assigns all (conc) remaining tasks to it.
+func bisectAssign(g *graph.Comm, t *topology.Torus, tasks []int, box topology.Box, conc, passes int, m topology.Mapping) error {
+	if box.Size() == 1 {
+		if len(tasks) != conc {
+			return fmt.Errorf("mappers: bisection imbalance: %d tasks for one node (conc %d)", len(tasks), conc)
+		}
+		coord := box.Origin
+		node := t.RankOf(coord)
+		for _, task := range tasks {
+			m[task] = node
+		}
+		return nil
+	}
+	// Split the box along its longest dimension.
+	dim := 0
+	for d := 1; d < len(box.Shape); d++ {
+		if box.Shape[d] > box.Shape[dim] {
+			dim = d
+		}
+	}
+	if box.Shape[dim]%2 != 0 {
+		return fmt.Errorf("mappers: bisection needs even dimensions, box %v", box.Shape)
+	}
+	half := box.Shape[dim] / 2
+	loBox := topology.Box{Origin: append([]int(nil), box.Origin...), Shape: append([]int(nil), box.Shape...)}
+	loBox.Shape[dim] = half
+	hiBox := topology.Box{Origin: append([]int(nil), box.Origin...), Shape: append([]int(nil), box.Shape...)}
+	hiBox.Origin[dim] += half
+	hiBox.Shape[dim] -= half
+
+	lo, hi := bisectGraph(g, tasks, passes)
+	if err := bisectAssign(g, t, lo, loBox, conc, passes, m); err != nil {
+		return err
+	}
+	return bisectAssign(g, t, hi, hiBox, conc, passes, m)
+}
+
+// bisectGraph splits tasks into two equal halves minimizing the cut volume,
+// via greedy KL-style pairwise swap passes.
+func bisectGraph(g *graph.Comm, tasks []int, passes int) (lo, hi []int) {
+	n := len(tasks)
+	halfN := n / 2
+	side := make(map[int]bool, n) // true = hi
+	for i, task := range tasks {
+		side[task] = i >= halfN
+	}
+	inSet := make(map[int]bool, n)
+	for _, task := range tasks {
+		inSet[task] = true
+	}
+	// Symmetric adjacency restricted to the task set.
+	adj := make(map[int]map[int]float64, n)
+	for _, task := range tasks {
+		adj[task] = make(map[int]float64)
+	}
+	for _, task := range tasks {
+		for _, nb := range g.Neighbors(task) {
+			if !inSet[nb] {
+				continue
+			}
+			v := g.Traffic(task, nb)
+			adj[task][nb] += v
+			adj[nb][task] += v
+		}
+	}
+	// D value: external - internal connectivity.
+	dval := func(task int) float64 {
+		d := 0.0
+		for nb, v := range adj[task] {
+			if side[nb] != side[task] {
+				d += v
+			} else {
+				d -= v
+			}
+		}
+		return d
+	}
+	for pass := 0; pass < passes; pass++ {
+		// Greedy: pick the best cross swap; repeat with locking.
+		locked := make(map[int]bool, n)
+		improved := false
+		for round := 0; round < halfN; round++ {
+			bestGain := 0.0
+			bestA, bestB := -1, -1
+			var loSide, hiSide []int
+			for _, task := range tasks {
+				if locked[task] {
+					continue
+				}
+				if side[task] {
+					hiSide = append(hiSide, task)
+				} else {
+					loSide = append(loSide, task)
+				}
+			}
+			// Rank candidates by D value and examine only the top few from
+			// each side: the classic KL economization.
+			sort.Slice(loSide, func(i, j int) bool { return dval(loSide[i]) > dval(loSide[j]) })
+			sort.Slice(hiSide, func(i, j int) bool { return dval(hiSide[i]) > dval(hiSide[j]) })
+			top := 8
+			for i := 0; i < len(loSide) && i < top; i++ {
+				for j := 0; j < len(hiSide) && j < top; j++ {
+					a, b := loSide[i], hiSide[j]
+					gain := dval(a) + dval(b) - 2*adj[a][b]
+					if gain > bestGain+1e-12 {
+						bestGain, bestA, bestB = gain, a, b
+					}
+				}
+			}
+			if bestA < 0 {
+				break
+			}
+			side[bestA], side[bestB] = true, false
+			locked[bestA], locked[bestB] = true, true
+			improved = true
+		}
+		if !improved {
+			break
+		}
+	}
+	for _, task := range tasks {
+		if side[task] {
+			hi = append(hi, task)
+		} else {
+			lo = append(lo, task)
+		}
+	}
+	return lo, hi
+}

@@ -1,0 +1,207 @@
+package mappers
+
+import (
+	"testing"
+
+	"rahtm/internal/metrics"
+	"rahtm/internal/topology"
+	"rahtm/internal/workload"
+)
+
+func mustMap(t *testing.T, m Mapper, w *workload.Workload, tp *topology.Torus, conc int) topology.Mapping {
+	t.Helper()
+	got, err := m.MapProcs(w, tp, conc)
+	if err != nil {
+		t.Fatalf("%s: %v", m.Name(), err)
+	}
+	if err := got.Validate(tp.N(), false); err != nil {
+		t.Fatalf("%s: %v", m.Name(), err)
+	}
+	counts := make([]int, tp.N())
+	for _, n := range got {
+		counts[n]++
+	}
+	for node, c := range counts {
+		if c != conc {
+			t.Fatalf("%s: node %d holds %d processes, want %d", m.Name(), node, c, conc)
+		}
+	}
+	return got
+}
+
+func TestDefaultPermutationPacksNodes(t *testing.T) {
+	tp := topology.NewTorus(2, 2)
+	w := workload.Halo2D(2, 4, 1) // 8 procs, conc 2
+	m := mustMap(t, Default(tp), w, tp, 2)
+	// ABT order, T fastest: ranks 0,1 share node 0; ranks 2,3 node 1...
+	if m[0] != m[1] || m[0] != 0 {
+		t.Fatalf("default mapping = %v", m)
+	}
+	if m[2] != m[3] || m[2] != 1 {
+		t.Fatalf("default mapping = %v", m)
+	}
+}
+
+func TestTFirstPermutationSpreads(t *testing.T) {
+	tp := topology.NewTorus(2, 2)
+	w := workload.Halo2D(2, 4, 1)
+	m := mustMap(t, Permutation{Spec: "TAB"}, w, tp, 2)
+	// T slowest: first 4 ranks cover all 4 nodes.
+	seen := map[int]bool{}
+	for r := 0; r < 4; r++ {
+		seen[m[r]] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("TAB mapping does not spread: %v", m)
+	}
+}
+
+func TestPermutationOrderMatters(t *testing.T) {
+	tp := topology.NewTorus(4, 2)
+	w := workload.Halo2D(2, 4, 1)
+	ab := mustMap(t, Permutation{Spec: "AB"}, w, tp, 1)
+	ba := mustMap(t, Permutation{Spec: "BA"}, w, tp, 1)
+	// AB: rank 1 -> coord (0,1); BA: rank 1 -> coord (1,0).
+	if ab[1] != tp.RankOf([]int{0, 1}) {
+		t.Fatalf("AB mapping = %v", ab)
+	}
+	if ba[1] != tp.RankOf([]int{1, 0}) {
+		t.Fatalf("BA mapping = %v", ba)
+	}
+}
+
+func TestPermutationSpecErrors(t *testing.T) {
+	tp := topology.NewTorus(2, 2)
+	w := workload.Halo2D(2, 2, 1)
+	cases := []string{"", "AAB", "A", "ABX", "ABZ", "ab!"}
+	for _, spec := range cases {
+		if _, err := (Permutation{Spec: spec}).MapProcs(w, tp, 1); err == nil {
+			t.Fatalf("spec %q should fail", spec)
+		}
+	}
+	// Missing T with concentration > 1.
+	w8 := workload.Halo2D(2, 4, 1)
+	if _, err := (Permutation{Spec: "AB"}).MapProcs(w8, tp, 2); err == nil {
+		t.Fatal("spec without T should fail when concentration > 1")
+	}
+}
+
+func TestHilbertMapperLocality(t *testing.T) {
+	tp := topology.NewTorus(4, 4)
+	w := workload.Halo2D(4, 4, 1)
+	m := mustMap(t, Hilbert{}, w, tp, 1)
+	// Consecutive ranks land on adjacent nodes (Hilbert adjacency).
+	for r := 1; r < 16; r++ {
+		if d := tp.MinDistance(m[r-1], m[r]); d != 1 {
+			t.Fatalf("ranks %d,%d at distance %d (mapping %v)", r-1, r, d, m)
+		}
+	}
+}
+
+func TestHilbertMapperMixedDims(t *testing.T) {
+	// 4x4x2: Hilbert over the two 4-dims, the 2-dim in plain order.
+	tp := topology.NewTorus(4, 4, 2)
+	w := workload.Halo2D(8, 4, 1)
+	mustMap(t, Hilbert{}, w, tp, 1)
+}
+
+func TestHilbertRejectsNonPowerDims(t *testing.T) {
+	tp := topology.NewTorus(3, 3)
+	w := workload.Halo2D(3, 3, 1)
+	if _, err := (Hilbert{}).MapProcs(w, tp, 1); err == nil {
+		t.Fatal("expected failure without power-of-two dims")
+	}
+}
+
+func TestRHTDefaultTiles(t *testing.T) {
+	tp := topology.NewTorus(4, 4)
+	w := workload.Halo2D(4, 4, 1)
+	m := mustMap(t, RHT{}, w, tp, 1)
+	// Default box 2x2: app tile 2x2; ranks (0,0),(0,1),(1,0),(1,1) share
+	// the first box {nodes with coords < 2}.
+	for _, r := range []int{0, 1, 4, 5} {
+		c := tp.CoordOf(m[r], nil)
+		if c[0] >= 2 || c[1] >= 2 {
+			t.Fatalf("rank %d outside first box: coord %v", r, c)
+		}
+	}
+}
+
+func TestRHTExplicitShapes(t *testing.T) {
+	tp := topology.NewTorus(4, 4)
+	w := workload.Halo2D(2, 8, 1)
+	m := mustMap(t, RHT{AppTile: []int{1, 8}, NodeBox: []int{2, 4}}, w, tp, 1)
+	if err := m.Validate(tp.N(), true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRHTErrors(t *testing.T) {
+	tp := topology.NewTorus(4, 4)
+	w := workload.Halo2D(4, 4, 1)
+	if _, err := (RHT{NodeBox: []int{3, 2}}).MapProcs(w, tp, 1); err == nil {
+		t.Fatal("non-dividing box should fail")
+	}
+	if _, err := (RHT{AppTile: []int{3, 1}}).MapProcs(w, tp, 1); err == nil {
+		t.Fatal("non-dividing tile should fail")
+	}
+	if _, err := (RHT{AppTile: []int{2, 1}}).MapProcs(w, tp, 1); err == nil {
+		t.Fatal("wrong-volume tile should fail")
+	}
+	noGrid := workload.RandomNeighbors(16, 3, 1, 1)
+	if _, err := (RHT{}).MapProcs(noGrid, tp, 1); err == nil {
+		t.Fatal("gridless workload should fail")
+	}
+}
+
+func TestGreedyHopBytesReducesHopBytes(t *testing.T) {
+	tp := topology.NewTorus(4, 4)
+	w := workload.Halo2D(4, 4, 5)
+	greedy := mustMap(t, GreedyHopBytes{}, w, tp, 1)
+	random := mustMap(t, Random{Seed: 1}, w, tp, 1)
+	hbG := metrics.HopBytes(tp, w.Graph, greedy)
+	hbR := metrics.HopBytes(tp, w.Graph, random)
+	if hbG >= hbR {
+		t.Fatalf("greedy hop-bytes %v not better than random %v", hbG, hbR)
+	}
+}
+
+func TestRandomDeterministicBySeed(t *testing.T) {
+	tp := topology.NewTorus(2, 2)
+	w := workload.Halo2D(2, 4, 1)
+	a := mustMap(t, Random{Seed: 5}, w, tp, 2)
+	b := mustMap(t, Random{Seed: 5}, w, tp, 2)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed, different mapping")
+		}
+	}
+}
+
+func TestSizeValidation(t *testing.T) {
+	tp := topology.NewTorus(2, 2)
+	w := workload.Halo2D(2, 2, 1) // 4 procs
+	if _, err := Default(tp).MapProcs(w, tp, 2); err == nil {
+		t.Fatal("expected size mismatch error")
+	}
+	if _, err := Default(tp).MapProcs(w, tp, 0); err == nil {
+		t.Fatal("expected concentration error")
+	}
+}
+
+func TestNodeGraphAggregation(t *testing.T) {
+	tp := topology.NewTorus(2, 2)
+	w := workload.Halo2D(2, 4, 2) // 8 procs, conc 2
+	m := mustMap(t, Default(tp), w, tp, 2)
+	ng := NodeGraph(w.Graph, m, tp.N())
+	if ng.N() != 4 {
+		t.Fatalf("node graph N = %d", ng.N())
+	}
+	// Total node-level volume <= process volume (co-located traffic drops).
+	if ng.TotalVolume() > w.Graph.TotalVolume() {
+		t.Fatal("aggregation created volume")
+	}
+	if ng.TotalVolume() == w.Graph.TotalVolume() {
+		t.Fatal("default packing should make some traffic node-local")
+	}
+}

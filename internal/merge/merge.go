@@ -1,0 +1,632 @@
+// Package merge implements Phase 3 of RAHTM: bottom-up merging of mapped
+// sub-blocks with rotation/reorientation search and top-N candidate pruning.
+//
+// Each block carries a beam of candidate internal mappings. Merging the
+// children of one hierarchy node proceeds incrementally: children are
+// ordered by decreasing average pairwise MCL (blocks with heavy interactions
+// get placed while the search is still flexible), and at every step all
+// combinations of surviving partial configurations, child candidates, and
+// child orientations (the hyperoctahedral symmetries of the child box) are
+// scored by the maximum channel load of the traffic merged so far; only the
+// best N (the paper uses N = 64) survive.
+package merge
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"rahtm/internal/graph"
+	"rahtm/internal/routing"
+	"rahtm/internal/topology"
+)
+
+// Orientation is a signed dimension permutation of a box: output coordinate
+// d reads input coordinate Perm[d], reversed when Flip[d] is set. Only
+// shape-preserving orientations are valid for a given box.
+type Orientation struct {
+	Perm []int
+	Flip []bool
+}
+
+// Orientations enumerates every shape-preserving orientation of a box,
+// deterministically. Flips of 1-wide dimensions are identities and are not
+// enumerated.
+func Orientations(shape []int) []Orientation {
+	nd := len(shape)
+	var out []Orientation
+	perm := make([]int, nd)
+	used := make([]bool, nd)
+	var flips func(p []int, d int, f []bool)
+	flips = func(p []int, d int, f []bool) {
+		if d == nd {
+			out = append(out, Orientation{
+				Perm: append([]int(nil), p...),
+				Flip: append([]bool(nil), f...),
+			})
+			return
+		}
+		f[d] = false
+		flips(p, d+1, f)
+		if shape[d] > 1 {
+			f[d] = true
+			flips(p, d+1, f)
+			f[d] = false
+		}
+	}
+	var perms func(d int)
+	perms = func(d int) {
+		if d == nd {
+			flips(perm, 0, make([]bool, nd))
+			return
+		}
+		if shape[d] == 1 {
+			// Permuting 1-wide dimensions among themselves never changes
+			// the action; pin them to avoid duplicate orientations.
+			if used[d] {
+				return
+			}
+			used[d] = true
+			perm[d] = d
+			perms(d + 1)
+			used[d] = false
+			return
+		}
+		for v := 0; v < nd; v++ {
+			if used[v] || shape[v] != shape[d] {
+				continue
+			}
+			used[v] = true
+			perm[d] = v
+			perms(d + 1)
+			used[v] = false
+		}
+	}
+	perms(0)
+	return out
+}
+
+// Apply transforms a row-major position within a box of the given shape.
+func (o Orientation) Apply(shape []int, pos int) int {
+	nd := len(shape)
+	// Decode row-major (last dim fastest).
+	x := make([]int, nd)
+	for d := nd - 1; d >= 0; d-- {
+		x[d] = pos % shape[d]
+		pos /= shape[d]
+	}
+	// Transform.
+	y := make([]int, nd)
+	for d := 0; d < nd; d++ {
+		v := x[o.Perm[d]]
+		if o.Flip[d] {
+			v = shape[d] - 1 - v
+		}
+		y[d] = v
+	}
+	// Encode.
+	out := 0
+	for d := 0; d < nd; d++ {
+		out = out*shape[d] + y[d]
+	}
+	return out
+}
+
+// Candidate is one internal mapping of a block, with its MCL estimate.
+type Candidate struct {
+	// Local maps task index (into Block.Tasks) to a row-major position in
+	// Block.Shape.
+	Local topology.Mapping
+	// MCL is the maximum channel load of the block-internal traffic under
+	// the uniform minimal-path model.
+	MCL float64
+}
+
+// Block is a mapped sub-box of the machine carrying a beam of candidates,
+// best first.
+type Block struct {
+	Tasks      []int // global task ids, ascending
+	Shape      []int // box extent per dimension
+	Candidates []Candidate
+}
+
+// NewLeafBlock wraps a Phase 2 leaf solution as a single-candidate block.
+// tasks[i] is the global id of local task i; local[i] its cube position.
+func NewLeafBlock(tasks []int, shape []int, local topology.Mapping, mcl float64) *Block {
+	return &Block{
+		Tasks:      append([]int(nil), tasks...),
+		Shape:      append([]int(nil), shape...),
+		Candidates: []Candidate{{Local: local.Clone(), MCL: mcl}},
+	}
+}
+
+// Config tunes the merge search. Zero values select the paper's defaults.
+type Config struct {
+	// BeamWidth is the number of merged candidates retained (paper: 64).
+	BeamWidth int
+	// ChildCandidates caps how many candidates of an incoming child are
+	// combined with the beam (0 = 4).
+	ChildCandidates int
+	// Torus evaluates the merged block with wraparound links; set at the
+	// root where the block is the whole machine.
+	Torus bool
+	// Topology, when non-nil, overrides the evaluation topology of the
+	// merged block (its dimensions must equal the parent block shape).
+	// The root merge passes the real machine here so per-dimension wrap
+	// flags are exact.
+	Topology *topology.Torus
+	// MaxOrientations caps how many child orientations are explored per
+	// merge step (0 = 384, the full hyperoctahedral group of a 4-D cube).
+	// Larger groups are subsampled with a deterministic stride that always
+	// keeps the identity.
+	MaxOrientations int
+	// MaxPairEvals caps the orientation-pair evaluations used for merge
+	// ordering (0 = 4096); ordering falls back to coarser sampling above.
+	MaxPairEvals int
+	// Reposition additionally searches over the free cube positions for
+	// each incoming child instead of honoring its Phase 2 pseudo-pin —
+	// the extra placement freedom §III-D alludes to. It multiplies the
+	// search space by up to the cube size.
+	Reposition bool
+	// Parallelism bounds the worker goroutines scoring merge candidates
+	// (0 = GOMAXPROCS).
+	Parallelism int
+}
+
+func (c Config) withDefaults() Config {
+	if c.BeamWidth <= 0 {
+		c.BeamWidth = 64
+	}
+	if c.ChildCandidates <= 0 {
+		c.ChildCandidates = 4
+	}
+	if c.MaxOrientations <= 0 {
+		c.MaxOrientations = 384
+	}
+	if c.MaxPairEvals <= 0 {
+		c.MaxPairEvals = 4096
+	}
+	return c
+}
+
+// Merge combines child blocks arranged on a {1,2}^n cube into their parent
+// block. childPos[i] is the pinned cube position of child i (row-major over
+// cubeShape) from Phase 2. g is the global task-level communication graph.
+func Merge(g *graph.Comm, children []*Block, cubeShape []int, childPos []int, cfg Config) (*Block, error) {
+	cfg = cfg.withDefaults()
+	if len(children) == 0 {
+		return nil, fmt.Errorf("merge: no children")
+	}
+	if len(childPos) != len(children) {
+		return nil, fmt.Errorf("merge: %d children, %d positions", len(children), len(childPos))
+	}
+	nd := len(cubeShape)
+	childShape := children[0].Shape
+	for i, c := range children {
+		if len(c.Shape) != nd {
+			return nil, fmt.Errorf("merge: child %d dimensionality mismatch", i)
+		}
+		for d := range childShape {
+			if c.Shape[d] != childShape[d] {
+				return nil, fmt.Errorf("merge: child %d shape %v differs from %v", i, c.Shape, childShape)
+			}
+		}
+		if len(c.Candidates) == 0 {
+			return nil, fmt.Errorf("merge: child %d has no candidates", i)
+		}
+	}
+	cubeSize := 1
+	parentShape := make([]int, nd)
+	for d := 0; d < nd; d++ {
+		if cubeShape[d] != 1 && cubeShape[d] != 2 {
+			return nil, fmt.Errorf("merge: cube shape %v is not 2-ary", cubeShape)
+		}
+		cubeSize *= cubeShape[d]
+		parentShape[d] = cubeShape[d] * childShape[d]
+	}
+	if len(children) != cubeSize {
+		return nil, fmt.Errorf("merge: %d children for cube of %d positions", len(children), cubeSize)
+	}
+	seen := make([]bool, cubeSize)
+	for i, p := range childPos {
+		if p < 0 || p >= cubeSize || seen[p] {
+			return nil, fmt.Errorf("merge: bad child position %d for child %d", p, i)
+		}
+		seen[p] = true
+	}
+	if cfg.Reposition && cubeSize > 64 {
+		return nil, fmt.Errorf("merge: repositioning supports cubes up to 64 positions, have %d", cubeSize)
+	}
+
+	m := &merger{
+		g:          g,
+		children:   children,
+		childPos:   childPos,
+		cubeShape:  cubeShape,
+		childShape: childShape,
+		cfg:        cfg,
+	}
+	switch {
+	case cfg.Topology != nil:
+		for d := 0; d < nd; d++ {
+			if cfg.Topology.Dim(d) != parentShape[d] {
+				return nil, fmt.Errorf("merge: override topology %v does not match parent shape %v",
+					cfg.Topology, parentShape)
+			}
+		}
+		m.parent = cfg.Topology
+	case cfg.Torus:
+		m.parent = topology.NewTorus(parentShape...)
+	default:
+		m.parent = topology.NewMesh(parentShape...)
+	}
+	m.orients = Orientations(childShape)
+	if len(m.orients) > cfg.MaxOrientations {
+		// Deterministic stride subsample keeping the identity (index 0).
+		stride := (len(m.orients) + cfg.MaxOrientations - 1) / cfg.MaxOrientations
+		var kept []Orientation
+		for i := 0; i < len(m.orients); i += stride {
+			kept = append(kept, m.orients[i])
+		}
+		m.orients = kept
+	}
+	m.origins = make([][]int, cubeSize)
+	for p := 0; p < cubeSize; p++ {
+		m.origins[p] = cubeOrigin(cubeShape, childShape, p)
+	}
+	return m.run()
+}
+
+// cubeOrigin returns the parent-box origin of the child at cube position p.
+func cubeOrigin(cubeShape, childShape []int, p int) []int {
+	nd := len(cubeShape)
+	o := make([]int, nd)
+	for d := nd - 1; d >= 0; d-- {
+		o[d] = (p % cubeShape[d]) * childShape[d]
+		p /= cubeShape[d]
+	}
+	return o
+}
+
+type merger struct {
+	g          *graph.Comm
+	children   []*Block
+	childPos   []int
+	cubeShape  []int
+	childShape []int
+	parent     *topology.Torus
+	orients    []Orientation
+	origins    [][]int // cube position -> parent origin coords
+	cfg        Config
+}
+
+// taskParentPos computes the parent-box rank of a child's task under a
+// candidate and orientation, with the child block at cube position cubePos.
+func (m *merger) taskParentPos(cand Candidate, o Orientation, cubePos, taskIdx int) int {
+	local := o.Apply(m.childShape, cand.Local[taskIdx])
+	// Decode local within childShape, offset by the child's origin.
+	origin := m.origins[cubePos]
+	nd := len(m.childShape)
+	coord := make([]int, nd)
+	for d := nd - 1; d >= 0; d-- {
+		coord[d] = origin[d] + local%m.childShape[d]
+		local /= m.childShape[d]
+	}
+	return m.parent.RankOf(coord)
+}
+
+// placementAt materializes parent positions for all tasks of a child placed
+// at the given cube position.
+func (m *merger) placementAt(child int, cand Candidate, o Orientation, cubePos int) []int {
+	out := make([]int, len(m.children[child].Tasks))
+	for i := range out {
+		out[i] = m.taskParentPos(cand, o, cubePos, i)
+	}
+	return out
+}
+
+// placement materializes parent positions using the child's pinned position.
+func (m *merger) placement(child int, cand Candidate, o Orientation) []int {
+	return m.placementAt(child, cand, o, m.childPos[child])
+}
+
+// addFlows adds the loads of all graph flows between the two task->position
+// maps (a may equal b for internal flows) into loads.
+func (m *merger) addFlows(aTasks []int, aPos []int, bTasks []int, bPos []int, loads []float64, includeInternal bool) {
+	alg := routing.MinimalAdaptive{}
+	posOf := make(map[int]int, len(aTasks)+len(bTasks))
+	for i, t := range aTasks {
+		posOf[t] = aPos[i]
+	}
+	for i, t := range bTasks {
+		posOf[t] = bPos[i]
+	}
+	aSet := make(map[int]bool, len(aTasks))
+	for _, t := range aTasks {
+		aSet[t] = true
+	}
+	bSet := make(map[int]bool, len(bTasks))
+	for _, t := range bTasks {
+		bSet[t] = true
+	}
+	for _, t := range aTasks {
+		for _, d := range m.g.Neighbors(t) {
+			if !bSet[d] {
+				continue
+			}
+			if !includeInternal && aSet[d] {
+				continue
+			}
+			alg.AddLoads(m.parent, posOf[t], posOf[d], m.g.Traffic(t, d), loads)
+		}
+	}
+	for _, t := range bTasks {
+		if aSet[t] {
+			continue
+		}
+		for _, d := range m.g.Neighbors(t) {
+			if !aSet[d] {
+				continue
+			}
+			alg.AddLoads(m.parent, posOf[t], posOf[d], m.g.Traffic(t, d), loads)
+		}
+	}
+}
+
+// mergeOrder ranks children by decreasing average best-pair MCL. Pair
+// evaluations are independent and run on all cores.
+func (m *merger) mergeOrder() []int {
+	n := len(m.children)
+	if n == 1 {
+		return []int{0}
+	}
+	// Cap orientation pairs.
+	ko := len(m.orients)
+	for ko > 1 && ko*ko > m.cfg.MaxPairEvals {
+		ko--
+	}
+	type pair struct{ i, j int }
+	var pairs []pair
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			pairs = append(pairs, pair{i, j})
+		}
+	}
+	best := make([]float64, len(pairs))
+	workers := m.cfg.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var wg sync.WaitGroup
+	chunk := (len(pairs) + workers - 1) / workers
+	for w := 0; w < workers && w*chunk < len(pairs); w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > len(pairs) {
+			hi = len(pairs)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			buf := make([]float64, m.parent.NumChannels())
+			for pi := lo; pi < hi; pi++ {
+				i, j := pairs[pi].i, pairs[pi].j
+				ci := m.children[i].Candidates[0]
+				cj := m.children[j].Candidates[0]
+				bst := -1.0
+				for oi := 0; oi < ko; oi++ {
+					plI := m.placement(i, ci, m.orients[oi])
+					for oj := 0; oj < ko; oj++ {
+						plJ := m.placement(j, cj, m.orients[oj])
+						for k := range buf {
+							buf[k] = 0
+						}
+						m.addFlows(m.children[i].Tasks, plI, m.children[i].Tasks, plI, buf, true)
+						m.addFlows(m.children[j].Tasks, plJ, m.children[j].Tasks, plJ, buf, true)
+						m.addFlows(m.children[i].Tasks, plI, m.children[j].Tasks, plJ, buf, false)
+						mcl := routing.MCL(buf)
+						if bst < 0 || mcl < bst {
+							bst = mcl
+						}
+					}
+				}
+				best[pi] = bst
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	avg := make([]float64, n)
+	for pi, p := range pairs {
+		avg[p.i] += best[pi]
+		avg[p.j] += best[pi]
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return avg[order[a]] > avg[order[b]] })
+	return order
+}
+
+// state is one partial merged configuration.
+type state struct {
+	pos   [][]int // per merged child (in merge order): task parent positions
+	cube  []int   // cube position chosen per merged child (in merge order)
+	used  uint64  // bitmask of occupied cube positions
+	loads []float64
+	mcl   float64
+}
+
+// variant is one way to absorb the incoming child: which of its candidates,
+// which orientation, and (with Reposition) which cube position.
+type variant struct {
+	cand   int
+	orient int
+	cube   int
+}
+
+// variantsOf enumerates the incoming child's variants given the occupied
+// cube positions of a partial configuration.
+func (m *merger) variantsOf(child int, used uint64) []variant {
+	nc := len(m.children[child].Candidates)
+	if nch := m.cfg.ChildCandidates; nc > nch {
+		nc = nch
+	}
+	var cubes []int
+	if m.cfg.Reposition {
+		for p := range m.origins {
+			if used&(1<<uint(p)) == 0 {
+				cubes = append(cubes, p)
+			}
+		}
+	} else {
+		cubes = []int{m.childPos[child]}
+	}
+	out := make([]variant, 0, nc*len(m.orients)*len(cubes))
+	for c := 0; c < nc; c++ {
+		for o := range m.orients {
+			for _, q := range cubes {
+				out = append(out, variant{cand: c, orient: o, cube: q})
+			}
+		}
+	}
+	return out
+}
+
+// applyVariant adds the child's internal and cross loads for the variant on
+// top of the partial state's loads (into dst, which must already hold the
+// state's loads).
+func (m *merger) applyVariant(st *state, order []int, step, child int, v variant, p []int, dst []float64) {
+	m.addFlows(m.children[child].Tasks, p, m.children[child].Tasks, p, dst, true)
+	for s := 0; s < step; s++ {
+		m.addFlows(m.children[order[s]].Tasks, st.pos[s], m.children[child].Tasks, p, dst, false)
+	}
+}
+
+func (m *merger) run() (*Block, error) {
+	order := m.mergeOrder()
+	workers := m.cfg.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	// Seed the beam with the first child.
+	var beam []*state
+	first := order[0]
+	for _, v := range m.variantsOf(first, 0) {
+		cand := m.children[first].Candidates[v.cand]
+		p := m.placementAt(first, cand, m.orients[v.orient], v.cube)
+		loads := make([]float64, m.parent.NumChannels())
+		m.addFlows(m.children[first].Tasks, p, m.children[first].Tasks, p, loads, true)
+		beam = append(beam, &state{
+			pos:   [][]int{p},
+			cube:  []int{v.cube},
+			used:  1 << uint(v.cube),
+			loads: loads,
+			mcl:   routing.MCL(loads),
+		})
+	}
+	beam = topN(beam, m.cfg.BeamWidth)
+
+	for step := 1; step < len(order); step++ {
+		child := order[step]
+		// Pass 1: score every (state, variant) combination, in parallel.
+		type combo struct {
+			st  int
+			v   variant
+			mcl float64
+		}
+		var combos []combo
+		for si, st := range beam {
+			for _, v := range m.variantsOf(child, st.used) {
+				combos = append(combos, combo{st: si, v: v})
+			}
+		}
+		var wg sync.WaitGroup
+		chunk := (len(combos) + workers - 1) / workers
+		for w := 0; w < workers && w*chunk < len(combos); w++ {
+			lo, hi := w*chunk, (w+1)*chunk
+			if hi > len(combos) {
+				hi = len(combos)
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				buf := make([]float64, m.parent.NumChannels())
+				for i := lo; i < hi; i++ {
+					c := &combos[i]
+					st := beam[c.st]
+					cand := m.children[child].Candidates[c.v.cand]
+					p := m.placementAt(child, cand, m.orients[c.v.orient], c.v.cube)
+					copy(buf, st.loads)
+					m.applyVariant(st, order, step, child, c.v, p, buf)
+					c.mcl = routing.MCL(buf)
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+		sort.SliceStable(combos, func(a, b int) bool { return combos[a].mcl < combos[b].mcl })
+		if len(combos) > m.cfg.BeamWidth {
+			combos = combos[:m.cfg.BeamWidth]
+		}
+		// Pass 2: materialize the winners.
+		next := make([]*state, 0, len(combos))
+		for _, sc := range combos {
+			st := beam[sc.st]
+			cand := m.children[child].Candidates[sc.v.cand]
+			p := m.placementAt(child, cand, m.orients[sc.v.orient], sc.v.cube)
+			loads := append([]float64(nil), st.loads...)
+			m.applyVariant(st, order, step, child, sc.v, p, loads)
+			pos := make([][]int, step+1)
+			copy(pos, st.pos)
+			pos[step] = p
+			cube := make([]int, step+1)
+			copy(cube, st.cube)
+			cube[step] = sc.v.cube
+			next = append(next, &state{
+				pos:   pos,
+				cube:  cube,
+				used:  st.used | 1<<uint(sc.v.cube),
+				loads: loads,
+				mcl:   sc.mcl,
+			})
+		}
+		beam = next
+	}
+
+	// Assemble the merged block: tasks ascending, candidates from the beam.
+	var allTasks []int
+	for _, c := range m.children {
+		allTasks = append(allTasks, c.Tasks...)
+	}
+	sort.Ints(allTasks)
+	taskIdx := make(map[int]int, len(allTasks))
+	for i, t := range allTasks {
+		taskIdx[t] = i
+	}
+	parentShape := make([]int, len(m.cubeShape))
+	for d := range parentShape {
+		parentShape[d] = m.cubeShape[d] * m.childShape[d]
+	}
+	out := &Block{Tasks: allTasks, Shape: parentShape}
+	for _, st := range beam {
+		local := make(topology.Mapping, len(allTasks))
+		for s := 0; s < len(order); s++ {
+			tasks := m.children[order[s]].Tasks
+			for i, t := range tasks {
+				local[taskIdx[t]] = st.pos[s][i]
+			}
+		}
+		out.Candidates = append(out.Candidates, Candidate{Local: local, MCL: st.mcl})
+	}
+	return out, nil
+}
+
+// topN sorts states ascending by MCL and truncates.
+func topN(states []*state, n int) []*state {
+	sort.SliceStable(states, func(a, b int) bool { return states[a].mcl < states[b].mcl })
+	if len(states) > n {
+		states = states[:n]
+	}
+	return states
+}

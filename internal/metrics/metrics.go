@@ -1,0 +1,109 @@
+// Package metrics computes mapping-quality metrics used throughout the
+// mapping literature: hop-bytes (the routing-oblivious metric the paper
+// argues against in Figure 1), dilation, and channel-load statistics.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"rahtm/internal/graph"
+	"rahtm/internal/routing"
+	"rahtm/internal/topology"
+)
+
+// HopBytes is the classic routing-unaware metric: the sum over flows of
+// volume times minimal hop distance. Lower means less total traffic moved,
+// but — as the paper's Figure 1 shows — not necessarily lower contention
+// under adaptive routing.
+func HopBytes(t *topology.Torus, g *graph.Comm, m topology.Mapping) float64 {
+	total := 0.0
+	for _, f := range g.Flows() {
+		s, d := m[f.Src], m[f.Dst]
+		if s == d {
+			continue
+		}
+		total += f.Vol * float64(t.MinDistance(s, d))
+	}
+	return total
+}
+
+// Dilation is the maximum minimal-hop distance over flows with positive
+// volume (0 for empty graphs or fully co-located mappings).
+func Dilation(t *topology.Torus, g *graph.Comm, m topology.Mapping) int {
+	max := 0
+	for _, f := range g.Flows() {
+		s, d := m[f.Src], m[f.Dst]
+		if s == d {
+			continue
+		}
+		if dd := t.MinDistance(s, d); dd > max {
+			max = dd
+		}
+	}
+	return max
+}
+
+// AvgDilation is the volume-weighted average hop distance (hop-bytes per
+// byte).
+func AvgDilation(t *topology.Torus, g *graph.Comm, m topology.Mapping) float64 {
+	vol := 0.0
+	for _, f := range g.Flows() {
+		if m[f.Src] != m[f.Dst] {
+			vol += f.Vol
+		}
+	}
+	if vol == 0 {
+		return 0
+	}
+	return HopBytes(t, g, m) / vol
+}
+
+// Report bundles the quality metrics of one mapping under one routing model.
+type Report struct {
+	MCL         float64 // maximum channel load
+	MeanLoad    float64 // mean load over physical links
+	HopBytes    float64
+	Dilation    int
+	AvgDilation float64
+	P99Load     float64 // 99th-percentile channel load
+	Imbalance   float64 // MCL / mean load (1 = perfectly balanced)
+}
+
+// Measure computes a full quality report.
+func Measure(t *topology.Torus, g *graph.Comm, m topology.Mapping, alg routing.Algorithm) Report {
+	loads := routing.ChannelLoads(t, g, m, alg)
+	st := routing.Stats(t, loads)
+	var phys []float64
+	for ch, v := range loads {
+		node, dim, dir := t.DecodeChannel(ch)
+		if t.ChannelExists(node, dim, dir) {
+			phys = append(phys, v)
+		}
+	}
+	sort.Float64s(phys)
+	p99 := 0.0
+	if len(phys) > 0 {
+		p99 = phys[int(math.Ceil(float64(len(phys))*0.99))-1]
+	}
+	imb := 0.0
+	if st.Mean > 0 {
+		imb = st.MCL / st.Mean
+	}
+	return Report{
+		MCL:         st.MCL,
+		MeanLoad:    st.Mean,
+		HopBytes:    HopBytes(t, g, m),
+		Dilation:    Dilation(t, g, m),
+		AvgDilation: AvgDilation(t, g, m),
+		P99Load:     p99,
+		Imbalance:   imb,
+	}
+}
+
+// String renders the report compactly.
+func (r Report) String() string {
+	return fmt.Sprintf("MCL=%.4g mean=%.4g hop-bytes=%.4g dilation=%d avg-dil=%.3g p99=%.4g imbalance=%.3g",
+		r.MCL, r.MeanLoad, r.HopBytes, r.Dilation, r.AvgDilation, r.P99Load, r.Imbalance)
+}

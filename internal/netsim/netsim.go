@@ -1,0 +1,162 @@
+// Package netsim is a flow-level network performance model for iterative
+// HPC communication on torus topologies. It replaces the paper's physical
+// Blue Gene/Q runs: per-iteration communication time is dominated by the
+// most contended resource — the hottest network channel, or the injection/
+// ejection bandwidth of the busiest node — and overall execution time adds a
+// computation term calibrated from the measured communication fraction
+// (Figure 9 in the paper).
+//
+// The model is deliberately throughput-centric: the paper's benchmarks are
+// bandwidth-bound, which is exactly why minimizing the maximum channel load
+// (MCL) is the right mapping objective (§II-B).
+package netsim
+
+import (
+	"fmt"
+
+	"rahtm/internal/graph"
+	"rahtm/internal/routing"
+	"rahtm/internal/topology"
+)
+
+// Model holds the machine's bandwidth parameters. Zero fields take Blue
+// Gene/Q-flavored defaults via WithDefaults.
+type Model struct {
+	// LinkBandwidth is bytes/second per network channel (BG/Q: 2 GB/s).
+	LinkBandwidth float64
+	// InjectionBandwidth is bytes/second from a node into the network; the
+	// torus NIC on BG/Q also runs at 2 GB/s per link with 10 links, but the
+	// memory system bounds sustained injection.
+	InjectionBandwidth float64
+	// EjectionBandwidth is bytes/second from the network into a node.
+	EjectionBandwidth float64
+	// Routing is the routing model (default: minimal adaptive
+	// approximation).
+	Routing routing.Algorithm
+}
+
+// WithDefaults fills zero fields with BG/Q-like values.
+func (m Model) WithDefaults() Model {
+	if m.LinkBandwidth <= 0 {
+		m.LinkBandwidth = 2e9
+	}
+	if m.InjectionBandwidth <= 0 {
+		m.InjectionBandwidth = 8e9
+	}
+	if m.EjectionBandwidth <= 0 {
+		m.EjectionBandwidth = 8e9
+	}
+	if m.Routing == nil {
+		m.Routing = routing.MinimalAdaptive{}
+	}
+	return m
+}
+
+// CommReport breaks down one iteration's communication time.
+type CommReport struct {
+	Time          float64 // seconds per iteration (max of the three terms)
+	LinkTime      float64 // MCL / LinkBandwidth
+	InjectionTime float64 // busiest sender / InjectionBandwidth
+	EjectionTime  float64 // busiest receiver / EjectionBandwidth
+	MCL           float64 // bytes on the hottest channel
+}
+
+// CommTime estimates one iteration's communication time for graph g mapped
+// onto t by mapping (tasks may share nodes; co-located traffic is free).
+func CommTime(t *topology.Torus, g *graph.Comm, mapping topology.Mapping, model Model) (*CommReport, error) {
+	model = model.WithDefaults()
+	if len(mapping) != g.N() {
+		return nil, fmt.Errorf("netsim: mapping covers %d tasks, graph has %d", len(mapping), g.N())
+	}
+	loads := routing.ChannelLoads(t, g, mapping, model.Routing)
+	mcl := routing.MCL(loads)
+
+	inj := make([]float64, t.N())
+	ej := make([]float64, t.N())
+	for _, f := range g.Flows() {
+		s, d := mapping[f.Src], mapping[f.Dst]
+		if s == d {
+			continue
+		}
+		inj[s] += f.Vol
+		ej[d] += f.Vol
+	}
+	maxInj, maxEj := 0.0, 0.0
+	for n := 0; n < t.N(); n++ {
+		if inj[n] > maxInj {
+			maxInj = inj[n]
+		}
+		if ej[n] > maxEj {
+			maxEj = ej[n]
+		}
+	}
+	rep := &CommReport{
+		LinkTime:      mcl / model.LinkBandwidth,
+		InjectionTime: maxInj / model.InjectionBandwidth,
+		EjectionTime:  maxEj / model.EjectionBandwidth,
+		MCL:           mcl,
+	}
+	rep.Time = rep.LinkTime
+	if rep.InjectionTime > rep.Time {
+		rep.Time = rep.InjectionTime
+	}
+	if rep.EjectionTime > rep.Time {
+		rep.Time = rep.EjectionTime
+	}
+	return rep, nil
+}
+
+// Calibration fixes the computation term of the execution model so that the
+// baseline mapping reproduces a target communication fraction — the role
+// Figure 9 (IPM profiles) plays in the paper.
+type Calibration struct {
+	CompTime float64 // seconds of computation per iteration
+}
+
+// Calibrate computes the computation time such that commFraction of total
+// time is communication when communication costs baselineCommTime:
+// comp = comm * (1 - f) / f.
+func Calibrate(baselineCommTime, commFraction float64) (Calibration, error) {
+	if commFraction <= 0 || commFraction >= 1 {
+		return Calibration{}, fmt.Errorf("netsim: communication fraction %v outside (0,1)", commFraction)
+	}
+	if baselineCommTime < 0 {
+		return Calibration{}, fmt.Errorf("netsim: negative baseline communication time")
+	}
+	return Calibration{CompTime: baselineCommTime * (1 - commFraction) / commFraction}, nil
+}
+
+// ExecTime is the per-iteration execution time: exposed communication plus
+// the calibrated computation (the paper's benchmarks overlap little).
+func (c Calibration) ExecTime(commTime float64) float64 {
+	return c.CompTime + commTime
+}
+
+// CommFraction reports the communication share of execution for a given
+// communication time under this calibration.
+func (c Calibration) CommFraction(commTime float64) float64 {
+	total := c.ExecTime(commTime)
+	if total == 0 {
+		return 0
+	}
+	return commTime / total
+}
+
+// PhasedCommTime estimates one iteration of a multi-phase application:
+// phases are separated by barriers, so each phase pays its own bottleneck
+// and the iteration's communication time is the SUM of per-phase times —
+// generally larger than evaluating the union graph, whose hot spots may
+// belong to different phases.
+func PhasedCommTime(t *topology.Torus, phases []*graph.Comm, mapping topology.Mapping, model Model) (float64, []*CommReport, error) {
+	total := 0.0
+	reports := make([]*CommReport, 0, len(phases))
+	for i, g := range phases {
+		rep, err := CommTime(t, g, mapping, model)
+		if err != nil {
+			return 0, nil, fmt.Errorf("netsim: phase %d: %w", i, err)
+		}
+		total += rep.Time
+		reports = append(reports, rep)
+	}
+	return total, reports, nil
+}

@@ -1,0 +1,306 @@
+// Package routing computes per-channel loads and the maximum channel load
+// (MCL) metric for communication patterns mapped onto torus/mesh topologies.
+//
+// The central model is the paper's approximation of Blue Gene/Q's minimal
+// adaptive routing (MAR): an oblivious routing that spreads each flow
+// uniformly over *all* minimal (Manhattan) paths (§III-D of the RAHTM
+// paper, following Towles & Dally's channel-load analysis for oblivious
+// routing). Uniform-over-paths is computed exactly — without enumerating
+// paths — by a dynamic program that, at every intermediate node, splits the
+// remaining flow proportionally to the remaining distance in each
+// dimension; that split induces exactly the uniform distribution over
+// minimal paths.
+//
+// Dimension-order routing (DOR) is provided as the routing-oblivious
+// comparator.
+package routing
+
+import (
+	"fmt"
+	"math"
+
+	"rahtm/internal/graph"
+	"rahtm/internal/topology"
+)
+
+// Algorithm turns a single flow into per-channel loads.
+type Algorithm interface {
+	// AddLoads routes vol units from node src to node dst on t, adding the
+	// resulting channel loads into loads (len t.NumChannels()).
+	AddLoads(t *topology.Torus, src, dst int, vol float64, loads []float64)
+	// Name identifies the algorithm in reports.
+	Name() string
+}
+
+// MinimalAdaptive is the balanced all-minimal-paths oblivious approximation
+// of BG/Q's minimal adaptive routing. The zero value is ready to use.
+type MinimalAdaptive struct{}
+
+// Name implements Algorithm.
+func (MinimalAdaptive) Name() string { return "minimal-adaptive" }
+
+// AddLoads implements Algorithm. A negative vol subtracts the flow's loads
+// — incremental evaluators use this to retract a previously added flow.
+func (MinimalAdaptive) AddLoads(t *topology.Torus, src, dst int, vol float64, loads []float64) {
+	if src == dst || vol == 0 {
+		return
+	}
+	nd := t.NumDims()
+	cs := t.CoordOf(src, nil)
+	cd := t.CoordOf(dst, nil)
+
+	// Per-dimension minimal direction choices. Ties (torus distance exactly
+	// k/2) admit both directions; every combination of choices contributes
+	// the same number of minimal paths, so combinations weigh equally.
+	type option struct {
+		dir  int
+		dist int
+	}
+	opts := make([][]option, nd)
+	numCombos := 1
+	for d := 0; d < nd; d++ {
+		a, b := cs[d], cd[d]
+		if a == b {
+			continue
+		}
+		k := t.Dim(d)
+		if !t.Wrap(d) {
+			if b > a {
+				opts[d] = []option{{topology.Plus, b - a}}
+			} else {
+				opts[d] = []option{{topology.Minus, a - b}}
+			}
+			continue
+		}
+		plus := ((b-a)%k + k) % k
+		minus := k - plus
+		switch {
+		case plus < minus:
+			opts[d] = []option{{topology.Plus, plus}}
+		case minus < plus:
+			opts[d] = []option{{topology.Minus, minus}}
+		default:
+			opts[d] = []option{{topology.Plus, plus}, {topology.Minus, minus}}
+			numCombos *= 2
+		}
+	}
+
+	comboVol := vol / float64(numCombos)
+	dirs := make([]int, nd)
+	dists := make([]int, nd)
+	var rec func(d int)
+	rec = func(d int) {
+		if d == nd {
+			addMinimalBoxLoads(t, cs, dirs, dists, comboVol, loads)
+			return
+		}
+		if opts[d] == nil {
+			dirs[d], dists[d] = 0, 0
+			rec(d + 1)
+			return
+		}
+		for _, o := range opts[d] {
+			dirs[d], dists[d] = o.dir, o.dist
+			rec(d + 1)
+		}
+	}
+	rec(0)
+}
+
+// addMinimalBoxLoads runs the proportional-split DP over the minimal box
+// defined by the source coordinate, the per-dimension travel directions and
+// distances, adding channel loads for vol units of flow.
+func addMinimalBoxLoads(t *topology.Torus, cs []int, dirs, dists []int, vol float64, loads []float64) {
+	nd := t.NumDims()
+	// Box shape and local strides (row-major, last dim fastest).
+	total := 1
+	shape := make([]int, nd)
+	for d := 0; d < nd; d++ {
+		shape[d] = dists[d] + 1
+		total *= shape[d]
+	}
+	strides := make([]int, nd)
+	s := 1
+	for d := nd - 1; d >= 0; d-- {
+		strides[d] = s
+		s *= shape[d]
+	}
+
+	p := make([]float64, total)
+	p[0] = vol
+	u := make([]int, nd)
+	coord := make([]int, nd)
+	for idx := 0; idx < total; idx++ {
+		pu := p[idx]
+		if pu == 0 {
+			// Still need to advance the offset counter.
+			incOffset(u, shape)
+			continue
+		}
+		remain := 0
+		for d := 0; d < nd; d++ {
+			remain += dists[d] - u[d]
+		}
+		if remain > 0 {
+			// Torus rank of the node at offset u.
+			for d := 0; d < nd; d++ {
+				k := t.Dim(d)
+				if dirs[d] == topology.Plus {
+					coord[d] = (cs[d] + u[d]) % k
+				} else {
+					coord[d] = ((cs[d]-u[d])%k + k) % k
+				}
+			}
+			node := t.RankOf(coord)
+			inv := pu / float64(remain)
+			for d := 0; d < nd; d++ {
+				left := dists[d] - u[d]
+				if left == 0 {
+					continue
+				}
+				frac := inv * float64(left)
+				loads[t.ChannelID(node, d, dirs[d])] += frac
+				p[idx+strides[d]] += frac
+			}
+		}
+		incOffset(u, shape)
+	}
+}
+
+// incOffset advances a mixed-radix counter (row-major, last dim fastest).
+func incOffset(u, shape []int) {
+	for d := len(u) - 1; d >= 0; d-- {
+		u[d]++
+		if u[d] < shape[d] {
+			return
+		}
+		u[d] = 0
+	}
+}
+
+// DimOrder is deterministic dimension-order routing: the flow fully
+// traverses each dimension in Order before the next. Ties on wrapped
+// dimensions take the Plus direction. A nil Order means 0,1,2,....
+type DimOrder struct {
+	Order []int
+}
+
+// Name implements Algorithm.
+func (r DimOrder) Name() string { return "dimension-order" }
+
+// AddLoads implements Algorithm.
+func (r DimOrder) AddLoads(t *topology.Torus, src, dst int, vol float64, loads []float64) {
+	if src == dst || vol <= 0 {
+		return
+	}
+	nd := t.NumDims()
+	order := r.Order
+	if order == nil {
+		order = make([]int, nd)
+		for i := range order {
+			order[i] = i
+		}
+	}
+	if len(order) != nd {
+		panic(fmt.Sprintf("routing: DimOrder has %d dims, topology has %d", len(order), nd))
+	}
+	cs := t.CoordOf(src, nil)
+	cd := t.CoordOf(dst, nil)
+	cur := append([]int(nil), cs...)
+	for _, d := range order {
+		k := t.Dim(d)
+		for cur[d] != cd[d] {
+			dir := topology.Plus
+			if t.Wrap(d) {
+				plus := ((cd[d]-cur[d])%k + k) % k
+				if k-plus < plus {
+					dir = topology.Minus
+				}
+			} else if cd[d] < cur[d] {
+				dir = topology.Minus
+			}
+			node := t.RankOf(cur)
+			loads[t.ChannelID(node, d, dir)] += vol
+			if dir == topology.Plus {
+				cur[d] = (cur[d] + 1) % k
+			} else {
+				cur[d] = (cur[d] - 1 + k) % k
+			}
+		}
+	}
+}
+
+// ChannelLoads routes every flow of g under mapping m with alg and returns
+// the dense per-channel load vector. Tasks sharing a node exchange data
+// through shared memory, contributing no network load.
+func ChannelLoads(t *topology.Torus, g *graph.Comm, m topology.Mapping, alg Algorithm) []float64 {
+	if len(m) != g.N() {
+		panic(fmt.Sprintf("routing: mapping covers %d tasks, graph has %d", len(m), g.N()))
+	}
+	loads := make([]float64, t.NumChannels())
+	for _, f := range g.Flows() {
+		alg.AddLoads(t, m[f.Src], m[f.Dst], f.Vol, loads)
+	}
+	return loads
+}
+
+// MCL returns the maximum entry of a channel-load vector.
+func MCL(loads []float64) float64 {
+	max := 0.0
+	for _, v := range loads {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// MaxChannelLoad is shorthand for MCL(ChannelLoads(...)).
+func MaxChannelLoad(t *topology.Torus, g *graph.Comm, m topology.Mapping, alg Algorithm) float64 {
+	return MCL(ChannelLoads(t, g, m, alg))
+}
+
+// TotalLoad returns the sum of a channel-load vector; divided by volume it
+// is the average hop count (a hop-bytes analogue).
+func TotalLoad(loads []float64) float64 {
+	tot := 0.0
+	for _, v := range loads {
+		tot += v
+	}
+	return tot
+}
+
+// LoadStats summarizes a channel-load vector over physically present links.
+type LoadStats struct {
+	MCL     float64 // maximum channel load
+	Mean    float64 // mean load over physical links
+	Total   float64 // sum of loads
+	NumUsed int     // channels with non-zero load
+}
+
+// Stats computes LoadStats for the load vector on t.
+func Stats(t *topology.Torus, loads []float64) LoadStats {
+	st := LoadStats{}
+	links := 0
+	for ch, v := range loads {
+		node, dim, dir := t.DecodeChannel(ch)
+		if !t.ChannelExists(node, dim, dir) {
+			continue
+		}
+		links++
+		st.Total += v
+		if v > st.MCL {
+			st.MCL = v
+		}
+		if v > 0 {
+			st.NumUsed++
+		}
+	}
+	if links > 0 {
+		st.Mean = st.Total / float64(links)
+	}
+	if math.IsNaN(st.Mean) {
+		st.Mean = 0
+	}
+	return st
+}

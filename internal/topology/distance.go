@@ -1,0 +1,26 @@
+package topology
+
+// DimDistance returns the minimal hop count between coordinates a and b
+// along dimension d, honoring wraparound.
+func (t *Torus) DimDistance(d, a, b int) int {
+	k := t.dims[d]
+	diff := b - a
+	if diff < 0 {
+		diff = -diff
+	}
+	if t.wrap[d] && k-diff < diff {
+		diff = k - diff
+	}
+	return diff
+}
+
+// MinDistance returns the minimal hop count between nodes a and b.
+func (t *Torus) MinDistance(a, b int) int {
+	ca := t.CoordOf(a, nil)
+	cb := t.CoordOf(b, nil)
+	dist := 0
+	for d := range ca {
+		dist += t.DimDistance(d, ca[d], cb[d])
+	}
+	return dist
+}

@@ -1,0 +1,64 @@
+package topology
+
+import "fmt"
+
+// Mapping assigns tasks (or clusters) to nodes: task t runs on node
+// Mapping[t]. A node-level mapping after clustering is one-to-one; a
+// process-level mapping with concentration factor c maps c tasks per node.
+type Mapping []int
+
+// Identity returns the mapping task i -> node i.
+func Identity(n int) Mapping {
+	m := make(Mapping, n)
+	for i := range m {
+		m[i] = i
+	}
+	return m
+}
+
+// Validate checks that every task is mapped to a node in [0, numNodes) and,
+// when oneToOne is set, that no node holds more than one task.
+func (m Mapping) Validate(numNodes int, oneToOne bool) error {
+	seen := make([]int, numNodes)
+	for t, n := range m {
+		if n < 0 || n >= numNodes {
+			return fmt.Errorf("topology: task %d mapped to node %d, want [0,%d)", t, n, numNodes)
+		}
+		seen[n]++
+		if oneToOne && seen[n] > 1 {
+			return fmt.Errorf("topology: node %d holds %d tasks, want at most 1", n, seen[n])
+		}
+	}
+	return nil
+}
+
+// Inverse returns node -> task for a one-to-one mapping (-1 for empty
+// nodes). Panics when two tasks share a node.
+func (m Mapping) Inverse(numNodes int) []int {
+	inv := make([]int, numNodes)
+	for i := range inv {
+		inv[i] = -1
+	}
+	for t, n := range m {
+		if inv[n] != -1 {
+			panic(fmt.Sprintf("topology: mapping is not one-to-one at node %d", n))
+		}
+		inv[n] = t
+	}
+	return inv
+}
+
+// Clone returns a copy of the mapping.
+func (m Mapping) Clone() Mapping {
+	return append(Mapping(nil), m...)
+}
+
+// ComposeNodes relabels the node side: task t moves to relabel[m[t]].
+// Used when a mapping onto a sub-mesh is embedded into the full torus.
+func (m Mapping) ComposeNodes(relabel []int) Mapping {
+	out := make(Mapping, len(m))
+	for t, n := range m {
+		out[t] = relabel[n]
+	}
+	return out
+}

@@ -1,0 +1,194 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIdentityMapping(t *testing.T) {
+	m := Identity(4)
+	for i := range m {
+		if m[i] != i {
+			t.Fatalf("Identity[%d] = %d", i, m[i])
+		}
+	}
+	if err := m.Validate(4, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMappingValidate(t *testing.T) {
+	if err := (Mapping{0, 1, 2}).Validate(3, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Mapping{0, 0}).Validate(3, true); err == nil {
+		t.Fatal("duplicate should fail one-to-one")
+	}
+	if err := (Mapping{0, 0}).Validate(3, false); err != nil {
+		t.Fatal("duplicates allowed when not one-to-one")
+	}
+	if err := (Mapping{5}).Validate(3, false); err == nil {
+		t.Fatal("out of range should fail")
+	}
+	if err := (Mapping{-1}).Validate(3, false); err == nil {
+		t.Fatal("negative should fail")
+	}
+}
+
+func TestMappingInverse(t *testing.T) {
+	m := Mapping{2, 0, 3}
+	inv := m.Inverse(4)
+	if inv[2] != 0 || inv[0] != 1 || inv[3] != 2 || inv[1] != -1 {
+		t.Fatalf("inverse = %v", inv)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-injective inverse")
+		}
+	}()
+	Mapping{0, 0}.Inverse(2)
+}
+
+func TestMappingCloneAndCompose(t *testing.T) {
+	m := Mapping{1, 0}
+	c := m.Clone()
+	c[0] = 9
+	if m[0] != 1 {
+		t.Fatal("clone shares storage")
+	}
+	relabeled := m.ComposeNodes([]int{10, 20})
+	if relabeled[0] != 20 || relabeled[1] != 10 {
+		t.Fatalf("composed = %v", relabeled)
+	}
+}
+
+func TestDimDistance(t *testing.T) {
+	tor := NewTorus(8)
+	if tor.DimDistance(0, 1, 7) != 2 {
+		t.Fatalf("torus distance = %d, want 2 (wrap)", tor.DimDistance(0, 1, 7))
+	}
+	if tor.DimDistance(0, 7, 1) != 2 {
+		t.Fatal("distance not symmetric")
+	}
+	msh := NewMesh(8)
+	if msh.DimDistance(0, 1, 7) != 6 {
+		t.Fatalf("mesh distance = %d, want 6", msh.DimDistance(0, 1, 7))
+	}
+}
+
+func TestMinDistance(t *testing.T) {
+	tp := NewTorus(4, 4)
+	if got := tp.MinDistance(tp.RankOf([]int{0, 0}), tp.RankOf([]int{3, 3})); got != 2 {
+		t.Fatalf("corner distance = %d, want 2 (double wrap)", got)
+	}
+	mesh := NewMesh(4, 4)
+	if got := mesh.MinDistance(0, 15); got != 6 {
+		t.Fatalf("mesh corner distance = %d, want 6", got)
+	}
+	if tp.MinDistance(5, 5) != 0 {
+		t.Fatal("self distance != 0")
+	}
+}
+
+func TestDims(t *testing.T) {
+	tp := NewTorus(3, 5)
+	d := tp.Dims()
+	d[0] = 99
+	if tp.Dim(0) != 3 {
+		t.Fatal("Dims exposed internal storage")
+	}
+}
+
+func TestHierarchyTorusAccessor(t *testing.T) {
+	tp := NewTorus(4, 4)
+	h, err := NewHierarchy(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Torus() != tp {
+		t.Fatal("Torus accessor broken")
+	}
+}
+
+func TestMixedString(t *testing.T) {
+	tp := NewMixed([]int{4, 3}, []bool{true, false})
+	if tp.String() != "mixed(4x3)" {
+		t.Fatalf("String = %q", tp.String())
+	}
+	if NewMixed([]int{2, 1}, []bool{true, true}).Wrap(1) {
+		t.Fatal("1-wide dim must not wrap")
+	}
+}
+
+func TestPanicsOnBadArguments(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	tp := NewTorus(2, 2)
+	mustPanic("RankOf short", func() { tp.RankOf([]int{0}) })
+	mustPanic("RankOf range", func() { tp.RankOf([]int{0, 5}) })
+	mustPanic("CoordOf range", func() { tp.CoordOf(99, nil) })
+	mustPanic("zero dims", func() { NewTorus() })
+	mustPanic("bad dim", func() { NewTorus(0) })
+	mustPanic("mixed mismatch", func() { NewMixed([]int{2}, []bool{true, false}) })
+	h, _ := NewHierarchy(tp)
+	mustPanic("bad level", func() { h.CubeShape(5) })
+	mustPanic("bad block level", func() { h.BlockShape(-1) })
+	mustPanic("long prefix", func() { h.BlockBox([]int{0, 0, 0}) })
+	mustPanic("bad path", func() { h.NodeFromPath([]int{0, 0}) })
+	mustPanic("bad box", func() { tp.Nodes(Box{Origin: []int{0, 0}, Shape: []int{3, 1}}) })
+}
+
+// Property: MinDistance satisfies the triangle inequality and symmetry.
+func TestQuickMinDistanceMetric(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dims := []int{2 + rng.Intn(4), 2 + rng.Intn(4)}
+		var tp *Torus
+		if rng.Intn(2) == 0 {
+			tp = NewTorus(dims...)
+		} else {
+			tp = NewMesh(dims...)
+		}
+		a, b, c := rng.Intn(tp.N()), rng.Intn(tp.N()), rng.Intn(tp.N())
+		dab, dba := tp.MinDistance(a, b), tp.MinDistance(b, a)
+		if dab != dba {
+			return false
+		}
+		return tp.MinDistance(a, c) <= dab+tp.MinDistance(b, c)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: NeighborRank moves exactly distance 1 and is inverted by the
+// opposite direction.
+func TestQuickNeighborRankInverse(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tp := NewTorus(2+rng.Intn(4), 2+rng.Intn(4))
+		n := rng.Intn(tp.N())
+		dim := rng.Intn(2)
+		dir := rng.Intn(2)
+		next, ok := tp.NeighborRank(n, dim, dir)
+		if !ok {
+			return true
+		}
+		if tp.MinDistance(n, next) != 1 {
+			return false
+		}
+		back, ok := tp.NeighborRank(next, dim, 1-dir)
+		return ok && back == n
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,75 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestTranspose(t *testing.T) {
+	w := Transpose(4, 7)
+	if w.Procs() != 16 {
+		t.Fatalf("procs = %d", w.Procs())
+	}
+	// (1,2) <-> (2,1): ranks 6 and 9.
+	if w.Graph.Traffic(6, 9) != 7 || w.Graph.Traffic(9, 6) != 7 {
+		t.Fatal("transpose partners missing")
+	}
+	// Diagonal ranks are silent.
+	if w.Graph.OutVolume(0) != 0 || w.Graph.OutVolume(5) != 0 {
+		t.Fatal("diagonal ranks should not communicate")
+	}
+}
+
+func TestSweepIsAcyclicPipeline(t *testing.T) {
+	w := Sweep(3, 4, 2)
+	// Corner (0,0) sends to two neighbors, receives nothing.
+	if len(w.Graph.Neighbors(0)) != 2 {
+		t.Fatalf("source corner neighbors = %v", w.Graph.Neighbors(0))
+	}
+	// Sink corner (2,3) = rank 11 sends nothing.
+	if w.Graph.OutVolume(11) != 0 {
+		t.Fatal("sink corner should not send")
+	}
+	// No wraparound.
+	if w.Graph.Traffic(3, 0) != 0 {
+		t.Fatal("sweep must not wrap")
+	}
+}
+
+func TestSpectral(t *testing.T) {
+	w, err := Spectral(4, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each rank: log2(4)=2 row partners + 2 column partners.
+	for v := 0; v < 16; v++ {
+		if got := len(w.Graph.Neighbors(v)); got != 4 {
+			t.Fatalf("rank %d has %d partners, want 4", v, got)
+		}
+	}
+	if _, err := Spectral(3, 4, 1); err == nil {
+		t.Fatal("non-power-of-two side should fail")
+	}
+}
+
+func TestManyToOne(t *testing.T) {
+	w, err := ManyToOne(16, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Aggregators receive 3*5 each, send nothing.
+	for agg := 0; agg < 16; agg += 4 {
+		if w.Graph.OutVolume(agg) != 0 {
+			t.Fatalf("aggregator %d sends", agg)
+		}
+		in := 0.0
+		for v := 0; v < 16; v++ {
+			in += w.Graph.Traffic(v, agg)
+		}
+		if in != 15 {
+			t.Fatalf("aggregator %d receives %v, want 15", agg, in)
+		}
+	}
+	if _, err := ManyToOne(10, 3, 1); err == nil {
+		t.Fatal("non-dividing block should fail")
+	}
+}

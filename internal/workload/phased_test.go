@@ -1,0 +1,39 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewPhased(t *testing.T) {
+	halo := Halo2D(4, 4, 5)
+	tr := Transpose(4, 10)
+	p, err := NewPhased("halo+transpose", halo, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Procs() != 16 || len(p.Phases) != 2 {
+		t.Fatalf("phased = %+v", p)
+	}
+	if p.Grid == nil || p.Grid[0] != 4 {
+		t.Fatalf("grid = %v", p.Grid)
+	}
+	u := p.Union()
+	want := halo.Graph.TotalVolume() + tr.Graph.TotalVolume()
+	if math.Abs(u.TotalVolume()-want) > 1e-9 {
+		t.Fatalf("union volume = %v, want %v", u.TotalVolume(), want)
+	}
+	w := p.Workload()
+	if w.Procs() != 16 || !w.Graph.Equal(u, 1e-12) {
+		t.Fatal("Workload conversion mismatch")
+	}
+}
+
+func TestNewPhasedErrors(t *testing.T) {
+	if _, err := NewPhased("empty"); err == nil {
+		t.Fatal("no phases should fail")
+	}
+	if _, err := NewPhased("mismatch", Halo2D(4, 4, 1), Halo2D(2, 4, 1)); err == nil {
+		t.Fatal("process count mismatch should fail")
+	}
+}

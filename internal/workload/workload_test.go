@@ -1,0 +1,167 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestBTStructure(t *testing.T) {
+	w, err := BT(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Procs() != 16 || w.Grid[0] != 4 || w.Grid[1] != 4 {
+		t.Fatalf("BT(16) = procs %d grid %v", w.Procs(), w.Grid)
+	}
+	// Each rank has 4 face neighbors + 1 diagonal = 5 out-edges.
+	for v := 0; v < 16; v++ {
+		if got := len(w.Graph.Neighbors(v)); got != 5 {
+			t.Fatalf("BT rank %d has %d neighbors, want 5", v, got)
+		}
+	}
+	if w.CommFraction != 0.35 {
+		t.Fatalf("BT comm fraction = %v", w.CommFraction)
+	}
+}
+
+func TestSPStructure(t *testing.T) {
+	w, err := SP(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 16; v++ {
+		if got := len(w.Graph.Neighbors(v)); got != 4 {
+			t.Fatalf("SP rank %d has %d neighbors, want 4", v, got)
+		}
+	}
+	// SP per-rank volume exceeds BT's face volume (heavier exchanges).
+	bt, _ := BT(16)
+	if w.Graph.OutVolume(0) <= bt.Graph.OutVolume(0)-4*10 {
+		t.Fatal("SP should carry heavier face traffic than BT")
+	}
+}
+
+func TestCGStructure(t *testing.T) {
+	w, err := CG(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rank (0,1): butterfly partners (0,0),(0,3),(0,5)... within row: j^1,
+	// j^2; grid side 4 -> distances 1,2 => partners j^1, j^2; plus
+	// transpose partner (1,0).
+	nb := w.Graph.Neighbors(1)
+	if len(nb) != 3 {
+		t.Fatalf("CG rank 1 neighbors = %v, want 3", nb)
+	}
+	// Diagonal ranks have no transpose partner.
+	nb0 := w.Graph.Neighbors(0)
+	if len(nb0) != 2 {
+		t.Fatalf("CG rank 0 neighbors = %v, want 2 (no self transpose)", nb0)
+	}
+	if w.CommFraction != 0.70 {
+		t.Fatalf("CG comm fraction = %v", w.CommFraction)
+	}
+}
+
+func TestCGHasLongDistanceFlows(t *testing.T) {
+	w, err := CG(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The butterfly includes distance-4 partners in an 8-wide row: rank 0
+	// talks to rank 4.
+	if w.Graph.Traffic(0, 4) == 0 {
+		t.Fatal("CG missing long-distance butterfly partner")
+	}
+}
+
+func TestWorkloadErrors(t *testing.T) {
+	if _, err := BT(15); err == nil {
+		t.Fatal("BT(15) should fail: not a square")
+	}
+	if _, err := SP(8); err == nil {
+		t.Fatal("SP(8) should fail: not a square")
+	}
+	if _, err := CG(36); err == nil {
+		t.Fatal("CG(36) should fail: side 6 not a power of two")
+	}
+	if _, err := ByName("LU", 16); err == nil {
+		t.Fatal("unknown benchmark should fail")
+	}
+}
+
+func TestByNameAndSuite(t *testing.T) {
+	for _, n := range []string{"BT", "bt", "SP", "sp", "CG", "cg"} {
+		if _, err := ByName(n, 16); err != nil {
+			t.Fatalf("ByName(%q): %v", n, err)
+		}
+	}
+	ws, err := Suite(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 3 || ws[0].Name != "BT" || ws[1].Name != "SP" || ws[2].Name != "CG" {
+		t.Fatalf("Suite = %v", ws)
+	}
+}
+
+func TestHalo2D(t *testing.T) {
+	w := Halo2D(4, 8, 2)
+	if w.Procs() != 32 {
+		t.Fatalf("procs = %d", w.Procs())
+	}
+	// Symmetric periodic halo: each rank sends to 4 neighbors.
+	for v := 0; v < 32; v++ {
+		if len(w.Graph.Neighbors(v)) != 4 {
+			t.Fatalf("rank %d neighbors = %v", v, w.Graph.Neighbors(v))
+		}
+	}
+}
+
+func TestHalo3D(t *testing.T) {
+	w := Halo3D(2, 2, 4, 1)
+	if w.Procs() != 16 {
+		t.Fatalf("procs = %d", w.Procs())
+	}
+	for v := 0; v < 16; v++ {
+		nb := len(w.Graph.Neighbors(v))
+		// With a 2-wide dimension, +1 and -1 neighbors coincide, so ranks
+		// have between 3 and 6 distinct neighbors.
+		if nb < 3 || nb > 6 {
+			t.Fatalf("rank %d has %d neighbors", v, nb)
+		}
+	}
+}
+
+func TestRandomNeighborsDeterministic(t *testing.T) {
+	a := RandomNeighbors(32, 4, 1, 7)
+	b := RandomNeighbors(32, 4, 1, 7)
+	if !a.Graph.Equal(b.Graph, 0) {
+		t.Fatal("same seed produced different graphs")
+	}
+	c := RandomNeighbors(32, 4, 1, 8)
+	if a.Graph.Equal(c.Graph, 0) {
+		t.Fatal("different seeds produced identical graphs")
+	}
+	if a.Grid != nil {
+		t.Fatal("random workload should have no grid")
+	}
+}
+
+func TestRing(t *testing.T) {
+	w := Ring(8, 3)
+	if w.Graph.NumEdges() != 8 {
+		t.Fatalf("ring edges = %d", w.Graph.NumEdges())
+	}
+	if w.Graph.Traffic(7, 0) != 3 {
+		t.Fatal("ring must wrap")
+	}
+}
+
+func TestVolumesScaleWithProcs(t *testing.T) {
+	// Total volume must grow with the process count (weak-scaling shape).
+	small, _ := CG(16)
+	large, _ := CG(64)
+	if large.Graph.TotalVolume() <= small.Graph.TotalVolume() {
+		t.Fatal("CG volume should grow with scale")
+	}
+}

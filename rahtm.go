@@ -1,0 +1,243 @@
+// Package rahtm is a Go implementation of RAHTM — Routing Algorithm Aware
+// Hierarchical Task Mapping (Abdel-Gawad, Thottethodi, Bhatele; SC 2014) —
+// together with every substrate the paper relies on: an LP/MILP solver, a
+// k-ary n-torus topology model, a minimal-adaptive-routing channel-load
+// evaluator, the baseline mappers the paper compares against, synthetic NAS
+// BT/SP/CG communication workloads, and a flow-level network performance
+// model.
+//
+// The central operation maps an MPI-style communication graph onto a torus
+// so as to minimize the maximum channel load (MCL) under minimal adaptive
+// routing:
+//
+//	w, _ := rahtm.BT(1024)                    // NAS BT on 1024 processes
+//	t := rahtm.NewTorus(4, 4, 4)              // 64-node 3-D torus
+//	m, _ := rahtm.Mapper{}.MapProcs(w, t, 16) // 16 processes per node
+//	rep := rahtm.Measure(t, w.Graph, m)       // MCL, hop-bytes, ...
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured results of every figure and table.
+package rahtm
+
+import (
+	"rahtm/internal/core"
+	"rahtm/internal/graph"
+	"rahtm/internal/hiermap"
+	"rahtm/internal/mappers"
+	"rahtm/internal/merge"
+	"rahtm/internal/metrics"
+	"rahtm/internal/netsim"
+	"rahtm/internal/routing"
+	"rahtm/internal/topology"
+	"rahtm/internal/workload"
+)
+
+// Re-exported core types. The library keeps implementations in internal
+// packages; these aliases are the supported public surface.
+type (
+	// Torus is a k-ary n-dimensional torus or mesh topology.
+	Torus = topology.Torus
+	// Mapping assigns tasks (process ranks or node-level clusters) to
+	// topology nodes.
+	Mapping = topology.Mapping
+	// Comm is a weighted directed communication graph.
+	Comm = graph.Comm
+	// Flow is one directed communication demand of a Comm.
+	Flow = graph.Flow
+	// Workload is a benchmark communication pattern with its metadata.
+	Workload = workload.Workload
+	// Report carries mapping-quality metrics.
+	Report = metrics.Report
+	// CommReport breaks down simulated communication time.
+	CommReport = netsim.CommReport
+	// Model holds network bandwidth parameters for simulation.
+	Model = netsim.Model
+	// PipelineResult is the full RAHTM pipeline output.
+	PipelineResult = core.Result
+	// PipelineConfig tunes the RAHTM pipeline.
+	PipelineConfig = core.Config
+	// LeafConfig tunes the Phase 2 subproblem solver.
+	LeafConfig = hiermap.Config
+	// MergeConfig tunes the Phase 3 beam search.
+	MergeConfig = merge.Config
+	// ProcMapper is anything that can map a workload's processes onto a
+	// topology (RAHTM itself and all baselines implement it).
+	ProcMapper = mappers.Mapper
+)
+
+// Leaf solver methods for LeafConfig.Method.
+const (
+	LeafAuto       = hiermap.Auto
+	LeafMILP       = hiermap.MILP
+	LeafExhaustive = hiermap.Exhaustive
+	LeafAnneal     = hiermap.Anneal
+)
+
+// Topology constructors.
+var (
+	// NewTorus builds a fully wrapped torus.
+	NewTorus = topology.NewTorus
+	// NewMesh builds an unwrapped mesh.
+	NewMesh = topology.NewMesh
+	// NewGraph builds an empty communication graph over n vertices.
+	NewGraph = graph.New
+	// Identity returns the mapping task i -> node i.
+	Identity = topology.Identity
+)
+
+// Workload generators (the paper's benchmarks and generic patterns).
+var (
+	BT              = workload.BT
+	SP              = workload.SP
+	CG              = workload.CG
+	WorkloadByName  = workload.ByName
+	Suite           = workload.Suite
+	Halo2D          = workload.Halo2D
+	Halo3D          = workload.Halo3D
+	RandomNeighbors = workload.RandomNeighbors
+	Ring            = workload.Ring
+	Transpose       = workload.Transpose
+	Sweep           = workload.Sweep
+	Spectral        = workload.Spectral
+	ManyToOne       = workload.ManyToOne
+)
+
+// workloadAllReduceJob is re-exported in extensions.go as AllReduceJob.
+var workloadAllReduceJob = workload.AllReduceJob
+
+// PhasedWorkload is a multi-phase application: distinct communication
+// patterns separated by barriers. Map the Union graph; simulate with
+// PhasedCommTime, which pays each phase's bottleneck in sequence.
+type PhasedWorkload = workload.Phased
+
+// NewPhased combines single-pattern workloads into a phased application.
+var NewPhased = workload.NewPhased
+
+// PhasedCommTime sums per-phase communication times for a mapping (phases
+// are barrier-separated and do not overlap on the network).
+func PhasedCommTime(t *Torus, phases []*Comm, m Mapping, model Model) (float64, []*CommReport, error) {
+	return netsim.PhasedCommTime(t, phases, m, model)
+}
+
+// ReadGraph parses the plain-text communication graph format
+// ("comm <n>" header, then "src dst vol" lines).
+var ReadGraph = graph.Read
+
+// Mapper runs the full RAHTM pipeline as a ProcMapper. The zero value uses
+// the paper's defaults (beam width 64, exhaustive leaf solver up to 8-node
+// cubes, annealing above).
+type Mapper struct {
+	// Leaf configures the Phase 2 cube solver.
+	Leaf LeafConfig
+	// Merge configures the Phase 3 beam search.
+	Merge MergeConfig
+	// DisableSiblingReuse turns off the symmetry caches.
+	DisableSiblingReuse bool
+}
+
+// Name implements ProcMapper.
+func (Mapper) Name() string { return "RAHTM" }
+
+// MapProcs implements ProcMapper: it runs clustering, hierarchical MILP
+// mapping and beam merging, returning a process-to-node mapping.
+func (m Mapper) MapProcs(w *Workload, t *Torus, conc int) (Mapping, error) {
+	res, err := m.Pipeline(w, t, conc)
+	if err != nil {
+		return nil, err
+	}
+	return res.ProcToNode, nil
+}
+
+// Pipeline runs the full RAHTM pipeline and returns the detailed result
+// (mapping, node graph, phase statistics). Tori with non-power-of-two
+// dimensions are handled by §III-B partitioning (power-of-two boxes mapped
+// independently after a cut-minimizing split).
+func (m Mapper) Pipeline(w *Workload, t *Torus, conc int) (*PipelineResult, error) {
+	return core.MapPartitioned(w.Graph, t, PipelineConfig{
+		Concentration:       conc,
+		GridDims:            w.Grid,
+		Leaf:                m.Leaf,
+		Merge:               m.Merge,
+		DisableSiblingReuse: m.DisableSiblingReuse,
+	})
+}
+
+// Baseline mappers (see §IV "Other mappings").
+var (
+	// NewPermutation builds a BG/Q-style dimension-order mapper from a spec
+	// such as "ABCDET".
+	NewPermutation = func(spec string) ProcMapper { return mappers.Permutation{Spec: spec} }
+	// NewHilbert builds the Hilbert-curve mapper.
+	NewHilbert = func() ProcMapper { return mappers.Hilbert{} }
+	// NewRHT builds the Rubik-style hierarchical tiling mapper.
+	NewRHT = func() ProcMapper { return mappers.RHT{} }
+	// NewGreedyHopBytes builds the routing-unaware greedy mapper.
+	NewGreedyHopBytes = func() ProcMapper { return mappers.GreedyHopBytes{} }
+	// NewRandom builds a seeded random mapper.
+	NewRandom = func(seed int64) ProcMapper { return mappers.Random{Seed: seed} }
+	// NewRecursiveBisection builds the Chaco-style recursive-bisection
+	// mapper (topology-aware, routing-unaware).
+	NewRecursiveBisection = func() ProcMapper { return mappers.RecursiveBisection{} }
+	// DefaultMapper returns the machine default (ABCDET-style) for t.
+	DefaultMapper = func(t *Torus) ProcMapper { return mappers.Default(t) }
+)
+
+// StandardPermutations returns the paper's three dimension-permutation
+// baselines generalized to t's dimensionality: the default (ABCDET-style),
+// the T-first variant (TABCDE-style), and the interleaved variant
+// (ACEBDT-style).
+func StandardPermutations(t *Torus) []ProcMapper {
+	nd := t.NumDims()
+	letters := make([]byte, 0, nd+1)
+	for d := 0; d < nd; d++ {
+		letters = append(letters, byte('A'+d))
+	}
+	def := string(letters) + "T"
+	tFirst := "T" + string(letters)
+	var inter []byte
+	for d := 0; d < nd; d += 2 {
+		inter = append(inter, byte('A'+d))
+	}
+	for d := 1; d < nd; d += 2 {
+		inter = append(inter, byte('A'+d))
+	}
+	interleaved := string(inter) + "T"
+	return []ProcMapper{
+		mappers.Permutation{Spec: def},
+		mappers.Permutation{Spec: tFirst},
+		mappers.Permutation{Spec: interleaved},
+	}
+}
+
+// StandardMappers returns the paper's full comparison set for t: the three
+// permutation baselines, Hilbert, RHT, and RAHTM — in Figure 8's order with
+// the default mapping first (it is the baseline everything is normalized
+// to).
+func StandardMappers(t *Torus) []ProcMapper {
+	out := StandardPermutations(t)
+	out = append(out, mappers.Hilbert{}, mappers.RHT{}, Mapper{})
+	return out
+}
+
+// Measure computes mapping-quality metrics under the minimal adaptive
+// routing approximation.
+func Measure(t *Torus, g *Comm, m Mapping) Report {
+	return metrics.Measure(t, g, m, routing.MinimalAdaptive{})
+}
+
+// MCL returns the maximum channel load of g mapped by m under the minimal
+// adaptive routing approximation.
+func MCL(t *Torus, g *Comm, m Mapping) float64 {
+	return routing.MaxChannelLoad(t, g, m, routing.MinimalAdaptive{})
+}
+
+// HopBytes returns the routing-oblivious hop-bytes metric.
+func HopBytes(t *Torus, g *Comm, m Mapping) float64 {
+	return metrics.HopBytes(t, g, m)
+}
+
+// CommTime estimates one iteration's communication time under the network
+// model (zero Model takes BG/Q-flavored defaults).
+func CommTime(t *Torus, g *Comm, m Mapping, model Model) (*CommReport, error) {
+	return netsim.CommTime(t, g, m, model)
+}
