@@ -16,9 +16,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -34,8 +37,19 @@ func main() {
 		fig      = flag.String("fig", "all", "which result to regenerate: 8, 9, 10, opt, or all")
 		beam     = flag.Int("beam", 0, "Phase 3 beam width override (0 = paper default 64)")
 		orient   = flag.Int("orient", 0, "Phase 3 orientation cap override (0 = default)")
+		timeout  = flag.Duration("timeout", 0, "time budget for the whole run; on expiry RAHTM degrades to best-so-far mappings")
+		verbose  = flag.Bool("verbose", false, "trace pipeline phases and solver progress to stderr")
+		pprofOut = flag.String("pprof", "", "write a CPU profile to this file")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	t, err := parseTopo(*topoSpec)
 	if err != nil {
@@ -48,12 +62,29 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	rahtmMapper := rahtm.Mapper{}
+	if *beam > 0 {
+		rahtmMapper.Merge.BeamWidth = *beam
+	}
+	if *orient > 0 {
+		rahtmMapper.Merge.MaxOrientations = *orient
+	}
+	if *verbose {
+		rahtmMapper.Observer = rahtm.NewLogObserver(os.Stderr)
+	}
 	ms := rahtm.StandardMappers(t)
-	if *beam > 0 || *orient > 0 {
-		m := rahtm.Mapper{}
-		m.Merge.BeamWidth = *beam
-		m.Merge.MaxOrientations = *orient
-		ms[len(ms)-1] = m
+	ms[len(ms)-1] = rahtmMapper
+
+	if *pprofOut != "" {
+		f, err := os.Create(*pprofOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	fmt.Printf("RAHTM evaluation on %s, %d processes, concentration %d\n\n", t, *procs, *conc)
@@ -62,7 +93,7 @@ func main() {
 	var cs []*rahtm.Comparison
 	if needCompare {
 		start := time.Now()
-		cs, err = rahtm.CompareSuite(ws, t, *conc, ms, rahtm.Model{})
+		cs, err = rahtm.CompareSuiteCtx(ctx, ws, t, *conc, ms, rahtm.Model{})
 		if err != nil {
 			fatal(err)
 		}
@@ -77,7 +108,7 @@ func main() {
 	case "10":
 		must(rahtm.WriteTable(os.Stdout, cs, "comm"))
 	case "opt":
-		optimizationTime(ws, t, *conc)
+		optimizationTime(ctx, ws, t, *conc, rahtmMapper)
 	case "all":
 		must(rahtm.CommFractionTable(os.Stdout, ws, t, *conc, ms[0], rahtm.Model{}))
 		fmt.Println()
@@ -85,7 +116,7 @@ func main() {
 		fmt.Println()
 		must(rahtm.WriteTable(os.Stdout, cs, "exec"))
 		fmt.Println()
-		optimizationTime(ws, t, *conc)
+		optimizationTime(ctx, ws, t, *conc, rahtmMapper)
 	default:
 		fatal(fmt.Errorf("unknown -fig %q (want 8, 9, 10, opt or all)", *fig))
 	}
@@ -93,20 +124,24 @@ func main() {
 
 // optimizationTime reports RAHTM's offline mapping cost per benchmark
 // (the Section V-B discussion: minutes to hours at the paper's scale).
-func optimizationTime(ws []*rahtm.Workload, t *rahtm.Torus, conc int) {
+func optimizationTime(ctx context.Context, ws []*rahtm.Workload, t *rahtm.Torus, conc int, m rahtm.Mapper) {
 	fmt.Println("offline mapping computation time (Section V-B)")
 	fmt.Printf("%-10s %12s %12s %12s %12s\n", "benchmark", "cluster", "map", "merge", "total")
 	for _, w := range ws {
-		res, err := (rahtm.Mapper{}).Pipeline(w, t, conc)
+		res, err := m.PipelineCtx(ctx, w, t, conc)
 		if err != nil {
 			fmt.Printf("%-10s error: %v\n", w.Name, err)
 			continue
 		}
 		s := res.Stats
 		total := s.ClusterTime + s.MapTime + s.MergeTime
-		fmt.Printf("%-10s %12v %12v %12v %12v\n", w.Name,
+		note := ""
+		if s.Degraded {
+			note = "  (degraded: budget expired)"
+		}
+		fmt.Printf("%-10s %12v %12v %12v %12v%s\n", w.Name,
 			s.ClusterTime.Round(time.Millisecond), s.MapTime.Round(time.Millisecond),
-			s.MergeTime.Round(time.Millisecond), total.Round(time.Millisecond))
+			s.MergeTime.Round(time.Millisecond), total.Round(time.Millisecond), note)
 	}
 }
 

@@ -10,9 +10,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -32,8 +36,19 @@ func main() {
 		out      = flag.String("o", "", "output map file (default stdout)")
 		format   = flag.String("format", "ranks", "map file format: ranks (one node per line) or coords (BG/Q tuples)")
 		quiet    = flag.Bool("q", false, "suppress the quality report")
+		timeout  = flag.Duration("timeout", 0, "mapping time budget; on expiry RAHTM returns its best mapping so far")
+		verbose  = flag.Bool("verbose", false, "trace pipeline phases and solver progress to stderr")
+		pprofOut = flag.String("pprof", "", "write a CPU profile of the mapping computation to this file")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	t, err := parseDims(*topoSpec)
 	if err != nil {
@@ -53,11 +68,42 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if rm, ok := m.(rahtm.Mapper); ok && *verbose {
+		rm.Observer = rahtm.NewLogObserver(os.Stderr)
+		m = rm
+	}
+
+	if *pprofOut != "" {
+		f, err := os.Create(*pprofOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	start := time.Now()
-	mapping, err := m.MapProcs(w, topo, *conc)
-	if err != nil {
-		fatal(err)
+	var mapping rahtm.Mapping
+	if rm, ok := m.(rahtm.Mapper); ok {
+		res, err := rm.PipelineCtx(ctx, w, topo, *conc)
+		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				fatal(fmt.Errorf("interrupted before a mapping was available"))
+			}
+			fatal(err)
+		}
+		if res.Stats.Degraded {
+			fmt.Fprintln(os.Stderr, "rahtm-map: time budget expired; returning the best mapping found so far")
+		}
+		mapping = res.ProcToNode
+	} else {
+		mapping, err = m.MapProcs(w, topo, *conc)
+		if err != nil {
+			fatal(err)
+		}
 	}
 	elapsed := time.Since(start)
 

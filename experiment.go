@@ -1,6 +1,8 @@
 package rahtm
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -9,6 +11,15 @@ import (
 
 	"rahtm/internal/netsim"
 )
+
+// CtxProcMapper is a ProcMapper that also accepts a context, letting
+// comparisons propagate cancellation and time budgets into the mapping
+// computation. Mapper implements it; the baselines do not need to (they map
+// in microseconds).
+type CtxProcMapper interface {
+	ProcMapper
+	MapProcsCtx(ctx context.Context, w *Workload, t *Torus, conc int) (Mapping, error)
+}
 
 // Row is one mapper's result within a Comparison.
 type Row struct {
@@ -39,6 +50,15 @@ type Comparison struct {
 // and execution time. Mapper failures are recorded per row rather than
 // aborting the comparison.
 func Compare(w *Workload, t *Torus, conc int, ms []ProcMapper, model Model) (*Comparison, error) {
+	return CompareCtx(context.Background(), w, t, conc, ms, model)
+}
+
+// CompareCtx is Compare under a context. Mappers implementing CtxProcMapper
+// (RAHTM's Mapper among them) receive ctx and can degrade or abort; the
+// rest run as usual. Hard cancellation aborts the comparison between
+// mappers with ctx.Err(); deadline expiry lets it finish, with
+// context-aware mappers returning degraded results.
+func CompareCtx(ctx context.Context, w *Workload, t *Torus, conc int, ms []ProcMapper, model Model) (*Comparison, error) {
 	if len(ms) == 0 {
 		return nil, fmt.Errorf("rahtm: no mappers to compare")
 	}
@@ -51,9 +71,18 @@ func Compare(w *Workload, t *Torus, conc int, ms []ProcMapper, model Model) (*Co
 	}
 	var cal netsim.Calibration
 	for i, m := range ms {
+		if err := ctx.Err(); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			return nil, err
+		}
 		row := Row{Mapper: m.Name()}
 		start := time.Now()
-		mp, err := m.MapProcs(w, t, conc)
+		var mp Mapping
+		var err error
+		if cm, ok := m.(CtxProcMapper); ok {
+			mp, err = cm.MapProcsCtx(ctx, w, t, conc)
+		} else {
+			mp, err = m.MapProcs(w, t, conc)
+		}
 		row.MapTime = time.Since(start)
 		if err != nil {
 			row.Err = err.Error()
@@ -100,9 +129,15 @@ func Compare(w *Workload, t *Torus, conc int, ms []ProcMapper, model Model) (*Co
 // CompareSuite runs Compare over several workloads and appends a geometric
 // mean pseudo-comparison, mirroring the extra bar cluster of Figures 8/10.
 func CompareSuite(ws []*Workload, t *Torus, conc int, ms []ProcMapper, model Model) ([]*Comparison, error) {
+	return CompareSuiteCtx(context.Background(), ws, t, conc, ms, model)
+}
+
+// CompareSuiteCtx is CompareSuite under a context, with CompareCtx's
+// cancellation semantics applied per workload.
+func CompareSuiteCtx(ctx context.Context, ws []*Workload, t *Torus, conc int, ms []ProcMapper, model Model) ([]*Comparison, error) {
 	var out []*Comparison
 	for _, w := range ws {
-		c, err := Compare(w, t, conc, ms, model)
+		c, err := CompareCtx(ctx, w, t, conc, ms, model)
 		if err != nil {
 			return nil, fmt.Errorf("rahtm: %s: %w", w.Name, err)
 		}

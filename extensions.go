@@ -5,6 +5,7 @@ package rahtm
 // per-flow routing co-optimization, and packet-level validation.
 
 import (
+	"context"
 	"io"
 
 	"rahtm/internal/collective"
@@ -15,6 +16,7 @@ import (
 	"rahtm/internal/mcflow"
 	"rahtm/internal/packetsim"
 	"rahtm/internal/trace"
+	"rahtm/internal/workload"
 )
 
 // FatTree is an m-ary l-level full-bisection fat tree — the §VI
@@ -78,8 +80,10 @@ func AddCollective(g *Comm, op CollectiveOp, ranks []int, msg float64) error {
 }
 
 // AllReduceJob builds a data-parallel (training-style) workload dominated
-// by global all-reduces.
-var AllReduceJob = workloadAllReduceJob
+// by global all-reduces of msg bytes implemented by op.
+func AllReduceJob(procs int, msg float64, op CollectiveOp) (*Workload, error) {
+	return workload.AllReduceJob(procs, msg, op)
+}
 
 // Profile is a parsed communication profile (the IPM-profile stand-in).
 type Profile = trace.Profile
@@ -101,7 +105,14 @@ type RoutingTable = mcflow.RoutingTable
 // returns the optimal MCL together with the per-flow routing table that
 // achieves it.
 func OptimalSplitMCL(t *Torus, g *Comm, m Mapping) (float64, *RoutingTable, error) {
-	res, rt, err := mcflow.EvaluateWithRoutes(t, g, m, lp.Options{})
+	return OptimalSplitMCLCtx(context.Background(), t, g, m)
+}
+
+// OptimalSplitMCLCtx is OptimalSplitMCL under a context: the LP aborts at
+// its next pivot poll and returns ctx.Err() when ctx is canceled or its
+// deadline expires.
+func OptimalSplitMCLCtx(ctx context.Context, t *Torus, g *Comm, m Mapping) (float64, *RoutingTable, error) {
+	res, rt, err := mcflow.EvaluateWithRoutesCtx(ctx, t, g, m, lp.Options{})
 	if err != nil {
 		return 0, nil, err
 	}
@@ -136,4 +147,11 @@ type PacketSimResult = packetsim.Result
 // communication.
 func PacketSimulate(t *Torus, g *Comm, m Mapping, cfg PacketSimConfig) (*PacketSimResult, error) {
 	return packetsim.Simulate(t, g, m, cfg)
+}
+
+// PacketSimulateCtx is PacketSimulate under a context, polled every 512
+// simulated cycles; any cancellation (including deadline expiry) aborts
+// with ctx.Err(), since a half-finished simulation has no valid statistics.
+func PacketSimulateCtx(ctx context.Context, t *Torus, g *Comm, m Mapping, cfg PacketSimConfig) (*PacketSimResult, error) {
+	return packetsim.SimulateCtx(ctx, t, g, m, cfg)
 }

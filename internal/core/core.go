@@ -10,6 +10,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -18,6 +20,7 @@ import (
 	"rahtm/internal/graph"
 	"rahtm/internal/hiermap"
 	"rahtm/internal/merge"
+	"rahtm/internal/obs"
 	"rahtm/internal/routing"
 	"rahtm/internal/topology"
 )
@@ -38,6 +41,11 @@ type Config struct {
 	// DisableSiblingReuse turns off the symmetry optimization that copies
 	// solutions across subproblems with identical communication structure.
 	DisableSiblingReuse bool
+	// Observer receives pipeline trace events (phase boundaries, subproblem
+	// solves, annealing samples, beam rounds, LP iteration counts). Nil is a
+	// no-op. The same observer is forwarded to the Phase 2 and Phase 3
+	// sub-configurations unless those already carry one.
+	Observer obs.Observer
 }
 
 // PhaseStats reports where pipeline time went.
@@ -59,6 +67,10 @@ type PhaseStats struct {
 	// that makes RAHTM never lose to the machine default, matching the
 	// paper's empirical behavior.
 	DefaultFallback bool
+	// Degraded is set when the context deadline expired mid-pipeline and at
+	// least one subproblem or merge returned a best-so-far result instead of
+	// completing its full search. The mapping is still valid.
+	Degraded bool
 }
 
 // Result is the pipeline output.
@@ -85,6 +97,18 @@ func (r *Result) ProcTask(p int) int { return r.procToTask[p] }
 
 // MapProcesses runs RAHTM end to end.
 func MapProcesses(proc *graph.Comm, t *topology.Torus, cfg Config) (*Result, error) {
+	return MapProcessesCtx(context.Background(), proc, t, cfg)
+}
+
+// MapProcessesCtx runs RAHTM end to end under a context. Hard cancellation
+// (ctx canceled outright) aborts promptly with ctx.Err(); an expired
+// deadline degrades gracefully — each remaining solver returns its
+// best-so-far valid result and Result.Stats.Degraded is set.
+func MapProcessesCtx(ctx context.Context, proc *graph.Comm, t *topology.Torus, cfg Config) (*Result, error) {
+	if err := hardCancel(ctx); err != nil {
+		return nil, err
+	}
+	o := obs.OrNop(cfg.Observer)
 	conc := cfg.Concentration
 	if conc <= 0 {
 		conc = 1
@@ -101,6 +125,7 @@ func MapProcesses(proc *graph.Comm, t *topology.Torus, cfg Config) (*Result, err
 	res := &Result{}
 
 	// ---- Phase 1: clustering -------------------------------------------
+	o.PhaseStart(obs.PhaseCluster)
 	start := time.Now()
 	var nodeGraph *graph.Comm
 	gridDims := cfg.GridDims
@@ -143,19 +168,28 @@ func MapProcesses(proc *graph.Comm, t *topology.Torus, cfg Config) (*Result, err
 		}
 	}
 	res.Stats.ClusterTime = time.Since(start)
+	o.PhaseEnd(obs.PhaseCluster, res.Stats.ClusterTime)
 
 	// ---- Phase 2: top-down cube mapping --------------------------------
+	o.PhaseStart(obs.PhaseMap)
 	start = time.Now()
 	// pins[d][entity] = position of the depth-(d+1) entity within its
 	// parent's CubeShape(d) cube.
 	pins := make([][]int, L)
-	type mapCacheEntry struct{ mapping topology.Mapping }
+	type mapCacheEntry struct {
+		mapping topology.Mapping
+		mcl     float64
+		method  hiermap.Method
+	}
 	mapCache := make(map[uint64]mapCacheEntry)
 	for d := 0; d < L; d++ {
 		count := entityCount(h, d+1)
 		pins[d] = make([]int, count)
 		shape := h.CubeShape(d)
 		for parent := range members[d] {
+			if err := hardCancel(ctx); err != nil {
+				return nil, err
+			}
 			kids := members[d][parent]
 			local, _ := graphs[d+1].InducedSubgraph(kids)
 			res.Stats.Subproblems++
@@ -164,16 +198,24 @@ func MapProcesses(proc *graph.Comm, t *topology.Torus, cfg Config) (*Result, err
 			if e, ok := mapCache[key]; ok && !cfg.DisableSiblingReuse {
 				mapping = e.mapping
 				res.Stats.SubproblemsHit++
+				o.SubproblemSolved(d, e.method.String(), e.mcl, true)
 			} else {
 				lc := cfg.Leaf
 				lc.Torus = d == 0 && anyWrap(t)
-				r, err := hiermap.Map(local, shape, lc)
+				if lc.Observer == nil {
+					lc.Observer = cfg.Observer
+				}
+				r, err := hiermap.MapCtx(ctx, local, shape, lc)
 				if err != nil {
 					return nil, fmt.Errorf("core: phase 2 level %d: %w", d, err)
 				}
 				mapping = r.Mapping
 				res.Stats.LeafMethod = r.Method
-				mapCache[key] = mapCacheEntry{mapping: mapping}
+				if r.Degraded {
+					res.Stats.Degraded = true
+				}
+				o.SubproblemSolved(d, r.Method.String(), r.MCL, false)
+				mapCache[key] = mapCacheEntry{mapping: mapping, mcl: r.MCL, method: r.Method}
 			}
 			for j, kid := range kids {
 				pins[d][kid] = mapping[j]
@@ -181,8 +223,10 @@ func MapProcesses(proc *graph.Comm, t *topology.Torus, cfg Config) (*Result, err
 		}
 	}
 	res.Stats.MapTime = time.Since(start)
+	o.PhaseEnd(obs.PhaseMap, res.Stats.MapTime)
 
 	// ---- Phase 3: bottom-up merging ------------------------------------
+	o.PhaseStart(obs.PhaseMerge)
 	start = time.Now()
 	// Leaf blocks (depth L-1) come straight from Phase 2.
 	blocks := make([]*merge.Block, len(members[L-1]))
@@ -201,6 +245,9 @@ func MapProcesses(proc *graph.Comm, t *topology.Torus, cfg Config) (*Result, err
 		parents := members[d]
 		next := make([]*merge.Block, len(parents))
 		for i, kids := range parents {
+			if err := hardCancel(ctx); err != nil {
+				return nil, err
+			}
 			children := make([]*merge.Block, len(kids))
 			childPos := make([]int, len(kids))
 			for j, kid := range kids {
@@ -208,6 +255,10 @@ func MapProcesses(proc *graph.Comm, t *topology.Torus, cfg Config) (*Result, err
 				childPos[j] = pins[d][kid]
 			}
 			mc := cfg.Merge
+			mc.Level = d
+			if mc.Observer == nil {
+				mc.Observer = cfg.Observer
+			}
 			if d == 0 {
 				mc.Torus = anyWrap(t)
 				if sameDims(t, h.BlockShape(0)) {
@@ -221,9 +272,12 @@ func MapProcesses(proc *graph.Comm, t *topology.Torus, cfg Config) (*Result, err
 				res.Stats.MergesHit++
 				continue
 			}
-			m, err := merge.Merge(nodeGraph, children, h.CubeShape(d), childPos, mc)
+			m, err := merge.MergeCtx(ctx, nodeGraph, children, h.CubeShape(d), childPos, mc)
 			if err != nil {
 				return nil, fmt.Errorf("core: phase 3 level %d: %w", d, err)
+			}
+			if m.Degraded {
+				res.Stats.Degraded = true
 			}
 			next[i] = m
 			mergeCache[key] = m
@@ -231,6 +285,7 @@ func MapProcesses(proc *graph.Comm, t *topology.Torus, cfg Config) (*Result, err
 		blocks = next
 	}
 	res.Stats.MergeTime = time.Since(start)
+	o.PhaseEnd(obs.PhaseMerge, res.Stats.MergeTime)
 
 	// ---- Final assembly -------------------------------------------------
 	// After the loop blocks[0] is the root block (for L == 1 the Phase 2
@@ -270,6 +325,16 @@ func MapProcesses(proc *graph.Comm, t *topology.Torus, cfg Config) (*Result, err
 		res.ProcToNode[p] = res.NodeMapping[res.procToTask[p]]
 	}
 	return res, nil
+}
+
+// hardCancel returns ctx's error when it was canceled outright. Deadline
+// expiry returns nil: the pipeline degrades to best-so-far instead of
+// failing.
+func hardCancel(ctx context.Context) error {
+	if err := ctx.Err(); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	return nil
 }
 
 func identity(n int) []int {
@@ -344,8 +409,9 @@ func translateBlock(cached *merge.Block, children []*merge.Block) *merge.Block {
 	}
 	sort.Ints(tasks)
 	out := &merge.Block{
-		Tasks: tasks,
-		Shape: append([]int(nil), cached.Shape...),
+		Tasks:    tasks,
+		Shape:    append([]int(nil), cached.Shape...),
+		Degraded: cached.Degraded,
 	}
 	for _, cand := range cached.Candidates {
 		out.Candidates = append(out.Candidates, merge.Candidate{

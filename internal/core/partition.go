@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"sort"
@@ -26,8 +27,19 @@ import (
 // because the partitions have different shapes; the partition cut is
 // minimized instead.)
 func MapPartitioned(proc *graph.Comm, t *topology.Torus, cfg Config) (*Result, error) {
+	return MapPartitionedCtx(context.Background(), proc, t, cfg)
+}
+
+// MapPartitionedCtx is MapPartitioned under a context, with the same
+// cancellation semantics as MapProcessesCtx: hard cancellation aborts with
+// ctx.Err() at the next per-partition boundary, deadline expiry degrades
+// each remaining partition to its best-so-far mapping.
+func MapPartitionedCtx(ctx context.Context, proc *graph.Comm, t *topology.Torus, cfg Config) (*Result, error) {
 	if isPowerOfTwoTorus(t) {
-		return MapProcesses(proc, t, cfg)
+		return MapProcessesCtx(ctx, proc, t, cfg)
+	}
+	if err := hardCancel(ctx); err != nil {
+		return nil, err
 	}
 	conc := cfg.Concentration
 	if conc <= 0 {
@@ -53,7 +65,11 @@ func MapPartitioned(proc *graph.Comm, t *topology.Torus, cfg Config) (*Result, e
 	for i := range nodeMapping {
 		nodeMapping[i] = -1
 	}
+	degraded := false
 	for bi, box := range boxes {
+		if err := hardCancel(ctx); err != nil {
+			return nil, err
+		}
 		tasks := parts[bi]
 		sub, _ := nodeGraph.InducedSubgraph(tasks)
 		// The box is a mesh cut out of the torus: full-width dims keep
@@ -71,9 +87,12 @@ func MapPartitioned(proc *graph.Comm, t *topology.Torus, cfg Config) (*Result, e
 		subCfg := cfg
 		subCfg.Concentration = 1
 		subCfg.GridDims = nil // the induced subgraph has no grid structure
-		res, err := MapProcesses(sub, boxTopo, subCfg)
+		res, err := MapProcessesCtx(ctx, sub, boxTopo, subCfg)
 		if err != nil {
 			return nil, fmt.Errorf("core: partition %v: %w", box, err)
+		}
+		if res.Stats.Degraded {
+			degraded = true
 		}
 		for li, task := range tasks {
 			nodeMapping[task] = boxNodes[res.NodeMapping[li]]
@@ -94,6 +113,7 @@ func MapPartitioned(proc *graph.Comm, t *topology.Torus, cfg Config) (*Result, e
 		procToTask:  procToTask,
 	}
 	out.Stats.ClusterQuality = quality
+	out.Stats.Degraded = degraded
 	out.ProcToNode = make(topology.Mapping, proc.N())
 	for p := 0; p < proc.N(); p++ {
 		out.ProcToNode[p] = nodeMapping[procToTask[p]]

@@ -21,12 +21,15 @@
 package hiermap
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
 	"time"
 
 	"rahtm/internal/graph"
+	"rahtm/internal/obs"
 	"rahtm/internal/routing"
 	"rahtm/internal/topology"
 )
@@ -73,6 +76,9 @@ type Config struct {
 	AnnealRestarts int
 	// Seed makes annealing deterministic.
 	Seed int64
+	// Observer receives annealing samples and LP iteration counts; nil is
+	// a no-op.
+	Observer obs.Observer
 }
 
 // Result of mapping a cluster graph onto a cube.
@@ -81,11 +87,25 @@ type Result struct {
 	MCL     float64          // achieved maximum channel load (uniform-split model)
 	Method  Method           // solver that produced the mapping
 	Proved  bool             // true when the solver proved optimality
+	// Degraded is set when the context deadline expired mid-solve and the
+	// mapping is the best found so far rather than the full search result.
+	Degraded bool
 }
 
 // Map places the |V| clusters of g onto the cube with the given {1,2}^n
 // shape (|V| must equal the cube size).
 func Map(g *graph.Comm, shape []int, cfg Config) (*Result, error) {
+	return MapCtx(context.Background(), g, shape, cfg)
+}
+
+// MapCtx is Map under a context. Hard cancellation aborts the solver at
+// its next poll and returns ctx.Err(); an expired deadline degrades
+// gracefully — the solver stops searching and returns its best-so-far valid
+// placement with Result.Degraded set.
+func MapCtx(ctx context.Context, g *graph.Comm, shape []int, cfg Config) (*Result, error) {
+	if err := hardCancel(ctx); err != nil {
+		return nil, err
+	}
 	size := 1
 	for _, s := range shape {
 		if s != 1 && s != 2 {
@@ -108,13 +128,28 @@ func Map(g *graph.Comm, shape []int, cfg Config) (*Result, error) {
 	}
 	switch method {
 	case Exhaustive:
-		return solveExhaustive(g, cube)
+		return solveExhaustive(ctx, g, cube)
 	case Anneal:
-		return solveAnneal(g, cube, cfg)
+		return solveAnneal(ctx, g, cube, cfg)
 	case MILP:
-		return solveMILP(g, cube, shape, cfg)
+		return solveMILP(ctx, g, cube, shape, cfg)
 	}
 	return nil, fmt.Errorf("hiermap: unknown method %v", cfg.Method)
+}
+
+// hardCancel returns ctx's error when it was canceled outright. Deadline
+// expiry returns nil: the solvers degrade to best-so-far instead of
+// failing.
+func hardCancel(ctx context.Context) error {
+	if err := ctx.Err(); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	return nil
+}
+
+// expired reports whether ctx's deadline has passed.
+func expired(ctx context.Context) bool {
+	return errors.Is(ctx.Err(), context.DeadlineExceeded)
 }
 
 // cubeTopology builds the evaluation topology for a cube shape.
@@ -131,8 +166,9 @@ func Evaluate(g *graph.Comm, shape []int, torus bool, m topology.Mapping) float6
 }
 
 // solveExhaustive tries every placement. Feasible for cubes up to 8 nodes
-// (8! = 40320 placements).
-func solveExhaustive(g *graph.Comm, cube *topology.Torus) (*Result, error) {
+// (8! = 40320 placements). Cancellation is polled every 1024 evaluations;
+// deadline expiry returns the best placement seen so far as degraded.
+func solveExhaustive(ctx context.Context, g *graph.Comm, cube *topology.Torus) (*Result, error) {
 	n := cube.N()
 	if n > 10 {
 		return nil, fmt.Errorf("hiermap: exhaustive search on %d nodes is too large", n)
@@ -146,12 +182,31 @@ func solveExhaustive(g *graph.Comm, cube *topology.Torus) (*Result, error) {
 	alg := routing.MinimalAdaptive{}
 	// Heap's algorithm over placements.
 	c := make([]int, n)
+	evals := 0
+	degraded := false
+	var ctxErr error
 	evalCur := func() {
 		mcl := routing.MaxChannelLoad(cube, g, perm, alg)
 		if mcl < bestMCL {
 			bestMCL = mcl
 			copy(best, perm)
 		}
+	}
+	// stop polls the context; true aborts the enumeration.
+	stop := func() bool {
+		evals++
+		if evals&1023 != 0 {
+			return false
+		}
+		if err := ctx.Err(); err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				degraded = true
+			} else {
+				ctxErr = err
+			}
+			return true
+		}
+		return false
 	}
 	evalCur()
 	i := 0
@@ -163,6 +218,9 @@ func solveExhaustive(g *graph.Comm, cube *topology.Torus) (*Result, error) {
 				perm[c[i]], perm[i] = perm[i], perm[c[i]]
 			}
 			evalCur()
+			if stop() {
+				break
+			}
 			c[i]++
 			i = 0
 		} else {
@@ -170,12 +228,22 @@ func solveExhaustive(g *graph.Comm, cube *topology.Torus) (*Result, error) {
 			i++
 		}
 	}
+	if ctxErr != nil {
+		return nil, ctxErr
+	}
+	if degraded {
+		return &Result{Mapping: best, MCL: bestMCL, Method: Exhaustive, Degraded: true}, nil
+	}
 	return &Result{Mapping: best, MCL: bestMCL, Method: Exhaustive, Proved: true}, nil
 }
 
 // solveAnneal runs restart simulated annealing over placements with
-// pairwise-swap moves and incremental channel-load maintenance.
-func solveAnneal(g *graph.Comm, cube *topology.Torus, cfg Config) (*Result, error) {
+// pairwise-swap moves and incremental channel-load maintenance. The context
+// is polled every 256 steps: hard cancellation aborts with ctx.Err(), an
+// expired deadline returns the best placement found so far as degraded.
+// Temperature/energy samples go to cfg.Observer roughly 32 times per
+// restart.
+func solveAnneal(ctx context.Context, g *graph.Comm, cube *topology.Torus, cfg Config) (*Result, error) {
 	n := cube.N()
 	iters := cfg.AnnealIters
 	if iters <= 0 {
@@ -186,9 +254,16 @@ func solveAnneal(g *graph.Comm, cube *topology.Torus, cfg Config) (*Result, erro
 		restarts = 4
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	o := obs.OrNop(cfg.Observer)
+	sampleEvery := iters / 32
+	if sampleEvery < 1 {
+		sampleEvery = 1
+	}
 
 	var best topology.Mapping
 	bestMCL := math.Inf(1)
+	degraded := false
+restartLoop:
 	for r := 0; r < restarts; r++ {
 		ev := newIncEval(g, cube, topology.Mapping(rng.Perm(n)))
 		curMCL := ev.mcl()
@@ -201,6 +276,18 @@ func solveAnneal(g *graph.Comm, cube *topology.Torus, cfg Config) (*Result, erro
 		alpha := math.Pow(1e-3, 1/float64(iters)) // t ends at t0/1000
 		temp := t0
 		for it := 0; it < iters; it++ {
+			if it&255 == 0 {
+				if err := ctx.Err(); err != nil {
+					if !errors.Is(err, context.DeadlineExceeded) {
+						return nil, err
+					}
+					degraded = true
+					break restartLoop
+				}
+			}
+			if it%sampleEvery == 0 {
+				o.AnnealSample(r, it, temp, curMCL, bestMCL)
+			}
 			i, j := rng.Intn(n), rng.Intn(n)
 			if i == j {
 				continue
@@ -218,5 +305,5 @@ func solveAnneal(g *graph.Comm, cube *topology.Torus, cfg Config) (*Result, erro
 			temp *= alpha
 		}
 	}
-	return &Result{Mapping: best, MCL: bestMCL, Method: Anneal, Proved: false}, nil
+	return &Result{Mapping: best, MCL: bestMCL, Method: Anneal, Degraded: degraded}, nil
 }

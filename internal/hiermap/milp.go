@@ -1,12 +1,14 @@
 package hiermap
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"rahtm/internal/graph"
 	"rahtm/internal/lp"
 	"rahtm/internal/milp"
+	"rahtm/internal/obs"
 	"rahtm/internal/routing"
 	"rahtm/internal/topology"
 )
@@ -18,7 +20,20 @@ import (
 // (a 2-ary n-torus is a 2-ary n-mesh with double-wide links). Minimal
 // routing is enforced by constraint C3: per flow, a binary r_{i,dim} allows
 // flow in only one direction within each dimension.
-func solveMILP(g *graph.Comm, cube *topology.Torus, shape []int, cfg Config) (*Result, error) {
+func solveMILP(ctx context.Context, g *graph.Comm, cube *topology.Torus, shape []int, cfg Config) (*Result, error) {
+	if err := hardCancel(ctx); err != nil {
+		return nil, err
+	}
+	if expired(ctx) {
+		// No time left even for model construction: fall back to the
+		// annealing seed, which degrades to its first valid placement.
+		res, err := solveAnneal(ctx, g, cube, cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.Degraded = true
+		return res, nil
+	}
 	mesh := topology.NewMesh(shape...)
 	n := mesh.N()
 	flows := g.Flows()
@@ -148,17 +163,28 @@ func solveMILP(g *graph.Comm, cube *topology.Torus, shape []int, cfg Config) (*R
 	}
 
 	// Warm-start incumbent from annealing (or the identity when trivial).
-	incumbent := buildIncumbent(g, mesh, cube, flows, base.NumVariables(), z, gVar, fVar, rVar, edgeOf, cap, cfg)
-
-	deadline := cfg.MILPDeadline
-	if deadline <= 0 {
-		deadline = 30 * time.Second
+	incumbent, err := buildIncumbent(ctx, g, mesh, cube, flows, base.NumVariables(), z, gVar, fVar, rVar, edgeOf, cap, cfg)
+	if err != nil {
+		return nil, err
 	}
-	res := prob.Solve(milp.Options{
-		Deadline:  time.Now().Add(deadline),
+
+	budget := cfg.MILPDeadline
+	if budget <= 0 {
+		budget = 30 * time.Second
+	}
+	deadline := time.Now().Add(budget)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	res := prob.SolveCtx(ctx, milp.Options{
+		Deadline:  deadline,
 		MaxNodes:  cfg.MILPMaxNodes,
 		Incumbent: incumbent,
 	})
+	obs.OrNop(cfg.Observer).LPIterations(res.LPIters)
+	if err := hardCancel(ctx); err != nil {
+		return nil, err
+	}
 	if res.X == nil {
 		return nil, fmt.Errorf("hiermap: MILP found no feasible mapping (status %v)", res.Status)
 	}
@@ -178,28 +204,33 @@ func solveMILP(g *graph.Comm, cube *topology.Torus, shape []int, cfg Config) (*R
 		mapping[a] = pos
 	}
 	return &Result{
-		Mapping: mapping,
-		MCL:     routing.MaxChannelLoad(cube, g, mapping, routing.MinimalAdaptive{}),
-		Method:  MILP,
-		Proved:  res.Status == milp.Optimal,
+		Mapping:  mapping,
+		MCL:      routing.MaxChannelLoad(cube, g, mapping, routing.MinimalAdaptive{}),
+		Method:   MILP,
+		Proved:   res.Status == milp.Optimal,
+		Degraded: expired(ctx),
 	}, nil
 }
 
 // buildIncumbent converts an annealed placement into a full MILP variable
 // assignment: g from the placement, f from the uniform minimal-path split
 // on the mesh (which respects C3 because meshes have a unique minimal
-// direction per dimension), r from the travel directions. Returns nil when
-// the placement cannot be pinned to the symmetry-broken form.
-func buildIncumbent(g *graph.Comm, mesh, cube *topology.Torus, flows []graph.Flow,
-	numVars, z int, gVar, fVar [][]int, rVar [][]int, edgeOf map[int]int, cap float64, cfg Config) []float64 {
+// direction per dimension), r from the travel directions. Returns a nil
+// slice (and nil error) when the placement cannot be pinned to the
+// symmetry-broken form; a non-nil error only on hard cancellation.
+func buildIncumbent(ctx context.Context, g *graph.Comm, mesh, cube *topology.Torus, flows []graph.Flow,
+	numVars, z int, gVar, fVar [][]int, rVar [][]int, edgeOf map[int]int, cap float64, cfg Config) ([]float64, error) {
 
-	seedRes, err := solveAnneal(g, cube, Config{
+	seedRes, err := solveAnneal(ctx, g, cube, Config{
 		AnnealIters:    cfg.AnnealIters,
 		AnnealRestarts: 1,
 		Seed:           cfg.Seed,
 	})
 	if err != nil {
-		return nil
+		if hardCancel(ctx) != nil {
+			return nil, err
+		}
+		return nil, nil
 	}
 	m := seedRes.Mapping
 	// Respect the symmetry-breaking pin g_{0,0}=1 by composing with a cube
@@ -240,7 +271,7 @@ func buildIncumbent(g *graph.Comm, mesh, cube *topology.Torus, flows []graph.Flo
 			}
 			e, ok := edgeOf[ch]
 			if !ok {
-				return nil
+				return nil, nil
 			}
 			x[fVar[i][e]] = v
 			_, dim, dir := mesh.DecodeChannel(ch)
@@ -263,5 +294,5 @@ func buildIncumbent(g *graph.Comm, mesh, cube *topology.Torus, flows []graph.Flo
 		}
 	}
 	x[z] = maxLoad / cap
-	return x
+	return x, nil
 }

@@ -1,0 +1,55 @@
+package lp
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func textbookProblem() *Problem {
+	p := NewProblem(2)
+	p.SetObjectiveCoef(0, -3)
+	p.SetObjectiveCoef(1, -5)
+	p.AddConstraint([]Term{{0, 1}}, LE, 4)
+	p.AddConstraint([]Term{{1, 2}}, LE, 12)
+	p.AddConstraint([]Term{{0, 3}, {1, 2}}, LE, 18)
+	return p
+}
+
+func TestSolveCtxBackground(t *testing.T) {
+	sol, err := textbookProblem().SolveCtx(context.Background(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", sol.Status)
+	}
+}
+
+func TestSolveCtxAlreadyCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sol, err := textbookProblem().SolveCtx(ctx, Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if sol == nil || sol.Status != Canceled {
+		t.Fatalf("sol = %+v, want Canceled status", sol)
+	}
+}
+
+func TestSolveCtxExpiredDeadline(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	_, err := textbookProblem().SolveCtx(ctx, Options{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestCanceledStatusString(t *testing.T) {
+	if Canceled.String() != "canceled" {
+		t.Fatalf("Canceled.String() = %q", Canceled.String())
+	}
+}

@@ -17,6 +17,7 @@
 package lp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -55,6 +56,7 @@ const (
 	Infeasible               // no point satisfies all constraints
 	Unbounded                // the objective decreases without bound
 	IterLimit                // the iteration budget was exhausted
+	Canceled                 // the context was canceled mid-solve (SolveCtx)
 )
 
 // String implements fmt.Stringer.
@@ -68,6 +70,8 @@ func (s Status) String() string {
 		return "unbounded"
 	case IterLimit:
 		return "iteration-limit"
+	case Canceled:
+		return "canceled"
 	}
 	return fmt.Sprintf("Status(%d)", int8(s))
 }
@@ -225,7 +229,22 @@ func (p *Problem) Solve() (*Solution, error) { return p.SolveOpts(Options{}) }
 
 // SolveOpts minimizes the problem with explicit options.
 func (p *Problem) SolveOpts(opt Options) (*Solution, error) {
-	return solveSimplex(p, opt)
+	return solveSimplex(p, opt, nil)
+}
+
+// SolveCtx minimizes the problem under a context: the pivot loop polls
+// ctx periodically and aborts with ctx.Err() when it is done. On
+// cancellation the returned Solution has Status Canceled and the error is
+// non-nil.
+func (p *Problem) SolveCtx(ctx context.Context, opt Options) (*Solution, error) {
+	sol, err := solveSimplex(p, opt, ctx.Done())
+	if err != nil {
+		return sol, err
+	}
+	if sol.Status == Canceled {
+		return sol, ctx.Err()
+	}
+	return sol, nil
 }
 
 // String renders the model in a small human-readable form (for debugging and

@@ -10,7 +10,7 @@ import (
 // [structural | slack/surplus | artificial | rhs], plus an objective row kept
 // in reduced-cost form. Rows are normalized so every right-hand side is
 // non-negative before slack and artificial columns are attached.
-func solveSimplex(p *Problem, opt Options) (*Solution, error) {
+func solveSimplex(p *Problem, opt Options, cancel <-chan struct{}) (*Solution, error) {
 	tol := opt.Tol
 	if tol <= 0 {
 		tol = 1e-9
@@ -95,10 +95,10 @@ func solveSimplex(p *Problem, opt Options) (*Solution, error) {
 			obj1[j] -= t[i][j]
 		}
 	}
-	it, st := pivotLoop(t, basis, obj1, cols, artAt, maxIters, tol)
+	it, st := pivotLoop(t, basis, obj1, cols, artAt, maxIters, tol, cancel)
 	sol.Iters += it
-	if st == IterLimit {
-		sol.Status = IterLimit
+	if st == IterLimit || st == Canceled {
+		sol.Status = st
 		return sol, nil
 	}
 	// -obj1[cols] is the phase-1 objective value (sum of artificials).
@@ -144,10 +144,10 @@ func solveSimplex(p *Problem, opt Options) (*Solution, error) {
 			obj2[j] -= cb * t[i][j]
 		}
 	}
-	it, st = pivotLoop(t, basis, obj2, cols, artAt, maxIters-sol.Iters, tol)
+	it, st = pivotLoop(t, basis, obj2, cols, artAt, maxIters-sol.Iters, tol, cancel)
 	sol.Iters += it
 	switch st {
-	case IterLimit, Unbounded:
+	case IterLimit, Unbounded, Canceled:
 		sol.Status = st
 		return sol, nil
 	}
@@ -169,12 +169,13 @@ func solveSimplex(p *Problem, opt Options) (*Solution, error) {
 }
 
 // pivotLoop runs simplex pivots on the tableau until the reduced costs in
-// obj are all >= -tol (optimal), the problem proves unbounded, or the
-// iteration budget runs out. Columns >= artBar may not enter the basis when
-// artBar >= 0 (used to bar artificial columns in phase 2; pass cols to allow
-// everything). Returns the iteration count and a status in
-// {Optimal, Unbounded, IterLimit}.
-func pivotLoop(t [][]float64, basis []int, obj []float64, cols, artBar, maxIters int, tol float64) (int, Status) {
+// obj are all >= -tol (optimal), the problem proves unbounded, the
+// iteration budget runs out, or the cancel channel fires (polled every 128
+// pivots). Columns >= artBar may not enter the basis when artBar >= 0 (used
+// to bar artificial columns in phase 2; pass cols to allow everything).
+// Returns the iteration count and a status in
+// {Optimal, Unbounded, IterLimit, Canceled}.
+func pivotLoop(t [][]float64, basis []int, obj []float64, cols, artBar, maxIters int, tol float64, cancel <-chan struct{}) (int, Status) {
 	m := len(t)
 	iters := 0
 	// Switch to Bland's rule after a stall to guarantee termination.
@@ -184,6 +185,13 @@ func pivotLoop(t [][]float64, basis []int, obj []float64, cols, artBar, maxIters
 	for {
 		if iters >= maxIters {
 			return iters, IterLimit
+		}
+		if cancel != nil && iters&127 == 0 {
+			select {
+			case <-cancel:
+				return iters, Canceled
+			default:
+			}
 		}
 		// Entering column.
 		enter := -1

@@ -12,11 +12,11 @@
 package mcflow
 
 import (
+	"context"
 	"fmt"
-
-	"rahtm/internal/graph"
 	"sort"
 
+	"rahtm/internal/graph"
 	"rahtm/internal/lp"
 	"rahtm/internal/routing"
 	"rahtm/internal/topology"
@@ -33,7 +33,16 @@ type Result struct {
 // (distance-decreasing hops through nodes on some minimal source-destination
 // path). Tasks sharing a node contribute nothing.
 func Evaluate(t *topology.Torus, g *graph.Comm, m topology.Mapping, opt lp.Options) (*Result, error) {
-	res, _, err := evaluate(t, g, m, opt, false)
+	res, _, err := evaluate(context.Background(), t, g, m, opt, false)
+	return res, err
+}
+
+// EvaluateCtx is Evaluate under a context: the LP aborts at its next pivot
+// poll when ctx is canceled or its deadline expires, returning ctx.Err().
+// The evaluator has no meaningful partial result, so deadline expiry is an
+// error here, unlike in the mapping pipeline.
+func EvaluateCtx(ctx context.Context, t *topology.Torus, g *graph.Comm, m topology.Mapping, opt lp.Options) (*Result, error) {
+	res, _, err := evaluate(ctx, t, g, m, opt, false)
 	return res, err
 }
 
@@ -44,7 +53,7 @@ type nodeFlow struct {
 
 // evaluate builds and solves the fixed-mapping min-MCL LP; with wantRoutes
 // it additionally extracts the per-flow channel splits.
-func evaluate(t *topology.Torus, g *graph.Comm, m topology.Mapping, opt lp.Options, wantRoutes bool) (*Result, []RouteSplit, error) {
+func evaluate(ctx context.Context, t *topology.Torus, g *graph.Comm, m topology.Mapping, opt lp.Options, wantRoutes bool) (*Result, []RouteSplit, error) {
 	if len(m) != g.N() {
 		return nil, nil, fmt.Errorf("mcflow: mapping covers %d tasks, graph has %d", len(m), g.N())
 	}
@@ -154,7 +163,7 @@ func evaluate(t *topology.Torus, g *graph.Comm, m topology.Mapping, opt lp.Optio
 		prob.AddConstraint(terms, lp.LE, 0)
 	}
 
-	sol, err := prob.SolveOpts(opt)
+	sol, err := prob.SolveCtx(ctx, opt)
 	if err != nil {
 		return nil, nil, err
 	}

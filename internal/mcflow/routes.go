@@ -1,6 +1,7 @@
 package mcflow
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -30,7 +31,13 @@ type RoutingTable struct {
 // EvaluateWithRoutes is Evaluate plus the per-flow routing table extracted
 // from the LP solution.
 func EvaluateWithRoutes(t *topology.Torus, g *graph.Comm, m topology.Mapping, opt lp.Options) (*Result, *RoutingTable, error) {
-	res, splits, err := evaluate(t, g, m, opt, true)
+	return EvaluateWithRoutesCtx(context.Background(), t, g, m, opt)
+}
+
+// EvaluateWithRoutesCtx is EvaluateWithRoutes under a context, with
+// EvaluateCtx's cancellation semantics.
+func EvaluateWithRoutesCtx(ctx context.Context, t *topology.Torus, g *graph.Comm, m topology.Mapping, opt lp.Options) (*Result, *RoutingTable, error) {
+	res, splits, err := evaluate(ctx, t, g, m, opt, true)
 	if err != nil {
 		return nil, nil, err
 	}

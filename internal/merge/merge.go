@@ -12,12 +12,16 @@
 package merge
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"sync"
 
 	"rahtm/internal/graph"
+	"rahtm/internal/obs"
 	"rahtm/internal/routing"
 	"rahtm/internal/topology"
 )
@@ -129,6 +133,10 @@ type Block struct {
 	Tasks      []int // global task ids, ascending
 	Shape      []int // box extent per dimension
 	Candidates []Candidate
+	// Degraded is set when the merge ran out of time (context deadline)
+	// and completed greedily instead of searching: the candidates are
+	// valid but best-effort.
+	Degraded bool
 }
 
 // NewLeafBlock wraps a Phase 2 leaf solution as a single-candidate block.
@@ -172,6 +180,11 @@ type Config struct {
 	// Parallelism bounds the worker goroutines scoring merge candidates
 	// (0 = GOMAXPROCS).
 	Parallelism int
+	// Observer receives BeamRound events after every merge step; nil is a
+	// no-op.
+	Observer obs.Observer
+	// Level tags Observer events with the hierarchy depth of this merge.
+	Level int
 }
 
 func (c Config) withDefaults() Config {
@@ -194,6 +207,18 @@ func (c Config) withDefaults() Config {
 // block. childPos[i] is the pinned cube position of child i (row-major over
 // cubeShape) from Phase 2. g is the global task-level communication graph.
 func Merge(g *graph.Comm, children []*Block, cubeShape []int, childPos []int, cfg Config) (*Block, error) {
+	return MergeCtx(context.Background(), g, children, cubeShape, childPos, cfg)
+}
+
+// MergeCtx is Merge under a context. Hard cancellation aborts the beam
+// search (workers bail at their next poll) and returns ctx.Err(); an
+// expired deadline stops searching and completes the remaining children
+// greedily — pinned positions, first candidate, identity orientation — so a
+// valid merged block is still produced, flagged Degraded.
+func MergeCtx(ctx context.Context, g *graph.Comm, children []*Block, cubeShape []int, childPos []int, cfg Config) (*Block, error) {
+	if err := hardCancel(ctx); err != nil {
+		return nil, err
+	}
 	cfg = cfg.withDefaults()
 	if len(children) == 0 {
 		return nil, fmt.Errorf("merge: no children")
@@ -275,7 +300,25 @@ func Merge(g *graph.Comm, children []*Block, cubeShape []int, childPos []int, cf
 	for p := 0; p < cubeSize; p++ {
 		m.origins[p] = cubeOrigin(cubeShape, childShape, p)
 	}
+	m.ctx = ctx
+	m.done = ctx.Done()
+	m.obs = obs.OrNop(cfg.Observer)
 	return m.run()
+}
+
+// hardCancel returns ctx's error when it was canceled outright. Deadline
+// expiry returns nil: the merge degrades to a greedy completion instead of
+// failing.
+func hardCancel(ctx context.Context) error {
+	if err := ctx.Err(); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	return nil
+}
+
+// expired reports whether ctx's deadline has passed.
+func expired(ctx context.Context) bool {
+	return errors.Is(ctx.Err(), context.DeadlineExceeded)
 }
 
 // cubeOrigin returns the parent-box origin of the child at cube position p.
@@ -299,6 +342,9 @@ type merger struct {
 	orients    []Orientation
 	origins    [][]int // cube position -> parent origin coords
 	cfg        Config
+	ctx        context.Context
+	done       <-chan struct{} // ctx.Done(), polled inside worker loops
+	obs        obs.Observer
 }
 
 // taskParentPos computes the parent-box rank of a child's task under a
@@ -410,6 +456,11 @@ func (m *merger) mergeOrder() []int {
 			defer wg.Done()
 			buf := make([]float64, m.parent.NumChannels())
 			for pi := lo; pi < hi; pi++ {
+				select {
+				case <-m.done:
+					return // ordering becomes partial; run() handles the context
+				default:
+				}
 				i, j := pairs[pi].i, pairs[pi].j
 				ci := m.children[i].Candidates[0]
 				cj := m.children[j].Candidates[0]
@@ -505,30 +556,40 @@ func (m *merger) applyVariant(st *state, order []int, step, child int, v variant
 
 func (m *merger) run() (*Block, error) {
 	order := m.mergeOrder()
+	if err := hardCancel(m.ctx); err != nil {
+		return nil, err
+	}
 	workers := m.cfg.Parallelism
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	degraded := false
 
-	// Seed the beam with the first child.
+	// Seed the beam with the first child. With the deadline already gone,
+	// seed only the pinned identity variant; the loop below completes the
+	// rest greedily.
 	var beam []*state
 	first := order[0]
-	for _, v := range m.variantsOf(first, 0) {
-		cand := m.children[first].Candidates[v.cand]
-		p := m.placementAt(first, cand, m.orients[v.orient], v.cube)
-		loads := make([]float64, m.parent.NumChannels())
-		m.addFlows(m.children[first].Tasks, p, m.children[first].Tasks, p, loads, true)
-		beam = append(beam, &state{
-			pos:   [][]int{p},
-			cube:  []int{v.cube},
-			used:  1 << uint(v.cube),
-			loads: loads,
-			mcl:   routing.MCL(loads),
-		})
+	if expired(m.ctx) {
+		degraded = true
+		beam = []*state{m.seedState(first, variant{cube: m.childPos[first]})}
+	} else {
+		for _, v := range m.variantsOf(first, 0) {
+			beam = append(beam, m.seedState(first, v))
+		}
+		beam = topN(beam, m.cfg.BeamWidth)
 	}
-	beam = topN(beam, m.cfg.BeamWidth)
+	m.obs.BeamRound(m.cfg.Level, 0, len(beam), beam[0].mcl)
 
 	for step := 1; step < len(order); step++ {
+		if err := hardCancel(m.ctx); err != nil {
+			return nil, err
+		}
+		if expired(m.ctx) {
+			beam = m.completeGreedy(beam, order, step)
+			degraded = true
+			break
+		}
 		child := order[step]
 		// Pass 1: score every (state, variant) combination, in parallel.
 		type combo struct {
@@ -539,7 +600,7 @@ func (m *merger) run() (*Block, error) {
 		var combos []combo
 		for si, st := range beam {
 			for _, v := range m.variantsOf(child, st.used) {
-				combos = append(combos, combo{st: si, v: v})
+				combos = append(combos, combo{st: si, v: v, mcl: math.Inf(1)})
 			}
 		}
 		var wg sync.WaitGroup
@@ -554,6 +615,11 @@ func (m *merger) run() (*Block, error) {
 				defer wg.Done()
 				buf := make([]float64, m.parent.NumChannels())
 				for i := lo; i < hi; i++ {
+					select {
+					case <-m.done:
+						return // unscored combos keep mcl=+Inf and are discarded
+					default:
+					}
 					c := &combos[i]
 					st := beam[c.st]
 					cand := m.children[child].Candidates[c.v.cand]
@@ -565,6 +631,16 @@ func (m *merger) run() (*Block, error) {
 			}(lo, hi)
 		}
 		wg.Wait()
+		if err := hardCancel(m.ctx); err != nil {
+			return nil, err
+		}
+		if expired(m.ctx) {
+			// The step was cut short; its scores are partial. Discard them
+			// and complete this and the remaining steps greedily.
+			beam = m.completeGreedy(beam, order, step)
+			degraded = true
+			break
+		}
 		sort.SliceStable(combos, func(a, b int) bool { return combos[a].mcl < combos[b].mcl })
 		if len(combos) > m.cfg.BeamWidth {
 			combos = combos[:m.cfg.BeamWidth]
@@ -592,6 +668,7 @@ func (m *merger) run() (*Block, error) {
 			})
 		}
 		beam = next
+		m.obs.BeamRound(m.cfg.Level, step, len(beam), beam[0].mcl)
 	}
 
 	// Assemble the merged block: tasks ascending, candidates from the beam.
@@ -608,7 +685,7 @@ func (m *merger) run() (*Block, error) {
 	for d := range parentShape {
 		parentShape[d] = m.cubeShape[d] * m.childShape[d]
 	}
-	out := &Block{Tasks: allTasks, Shape: parentShape}
+	out := &Block{Tasks: allTasks, Shape: parentShape, Degraded: degraded}
 	for _, st := range beam {
 		local := make(topology.Mapping, len(allTasks))
 		for s := 0; s < len(order); s++ {
@@ -620,6 +697,60 @@ func (m *merger) run() (*Block, error) {
 		out.Candidates = append(out.Candidates, Candidate{Local: local, MCL: st.mcl})
 	}
 	return out, nil
+}
+
+// seedState builds the single-child beam state for variant v of child.
+func (m *merger) seedState(child int, v variant) *state {
+	cand := m.children[child].Candidates[v.cand]
+	p := m.placementAt(child, cand, m.orients[v.orient], v.cube)
+	loads := make([]float64, m.parent.NumChannels())
+	m.addFlows(m.children[child].Tasks, p, m.children[child].Tasks, p, loads, true)
+	return &state{
+		pos:   [][]int{p},
+		cube:  []int{v.cube},
+		used:  1 << uint(v.cube),
+		loads: loads,
+		mcl:   routing.MCL(loads),
+	}
+}
+
+// completeGreedy finishes an interrupted merge from the best surviving
+// state: each remaining child (steps from..end of order) is absorbed with
+// its first candidate, the identity orientation, and its pinned cube
+// position (or the first free one when Reposition already took it). The
+// result is a valid single-candidate beam without any further search.
+func (m *merger) completeGreedy(beam []*state, order []int, from int) []*state {
+	st := beam[0]
+	for step := from; step < len(order); step++ {
+		child := order[step]
+		cube := m.childPos[child]
+		if st.used&(1<<uint(cube)) != 0 {
+			for p := range m.origins {
+				if st.used&(1<<uint(p)) == 0 {
+					cube = p
+					break
+				}
+			}
+		}
+		cand := m.children[child].Candidates[0]
+		p := m.placementAt(child, cand, m.orients[0], cube)
+		loads := append([]float64(nil), st.loads...)
+		m.applyVariant(st, order, step, child, variant{cube: cube}, p, loads)
+		pos := make([][]int, step+1)
+		copy(pos, st.pos)
+		pos[step] = p
+		cubes := make([]int, step+1)
+		copy(cubes, st.cube)
+		cubes[step] = cube
+		st = &state{
+			pos:   pos,
+			cube:  cubes,
+			used:  st.used | 1<<uint(cube),
+			loads: loads,
+			mcl:   routing.MCL(loads),
+		}
+	}
+	return []*state{st}
 }
 
 // topN sorts states ascending by MCL and truncates.

@@ -1,0 +1,54 @@
+package milp
+
+import (
+	"context"
+	"testing"
+
+	"rahtm/internal/lp"
+)
+
+func knapsack() *Problem {
+	base := lp.NewProblem(0)
+	p := NewProblem(base)
+	a := p.AddBinary(-5, "a")
+	b := p.AddBinary(-4, "b")
+	c := p.AddBinary(-3, "c")
+	base.AddConstraint([]lp.Term{{Var: a, Coef: 2}, {Var: b, Coef: 3}, {Var: c, Coef: 1}}, lp.LE, 5)
+	return p
+}
+
+func TestSolveCtxBackground(t *testing.T) {
+	res := knapsack().SolveCtx(context.Background(), Options{})
+	wantStatus(t, res, Optimal)
+	wantObj(t, res, -9)
+}
+
+func TestSolveCtxAlreadyCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := knapsack().SolveCtx(ctx, Options{})
+	// A canceled search must not fabricate a certificate: it processed no
+	// nodes, found no incumbent, and must report Unknown, never Optimal or
+	// Infeasible.
+	wantStatus(t, res, Unknown)
+	if res.Nodes != 0 {
+		t.Fatalf("processed %d nodes after cancellation", res.Nodes)
+	}
+}
+
+func TestSolveCtxCanceledKeepsIncumbent(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := knapsack().SolveCtx(ctx, Options{Incumbent: []float64{1, 0, 1}})
+	// The warm-start incumbent survives but must be reported Feasible,
+	// not proved Optimal.
+	wantStatus(t, res, Feasible)
+	wantObj(t, res, -8)
+}
+
+func TestSolveCtxAccumulatesLPIters(t *testing.T) {
+	res := knapsack().SolveCtx(context.Background(), Options{})
+	if res.LPIters <= 0 {
+		t.Fatalf("LPIters = %d, want > 0", res.LPIters)
+	}
+}

@@ -17,6 +17,7 @@ package milp
 
 import (
 	"container/heap"
+	"context"
 	"math"
 	"sort"
 	"time"
@@ -116,6 +117,7 @@ type Result struct {
 	Objective float64   // objective of X
 	Bound     float64   // best proved lower bound on the optimum
 	Nodes     int       // number of branch-and-bound nodes processed
+	LPIters   int       // simplex iterations summed over all relaxations
 }
 
 // branch is one bound change relative to the root problem.
@@ -154,6 +156,16 @@ func (h *nodeHeap) Pop() interface{} {
 
 // Solve runs branch and bound and returns the best result found.
 func (p *Problem) Solve(opt Options) *Result {
+	return p.SolveCtx(context.Background(), opt)
+}
+
+// SolveCtx runs branch and bound under a context. When ctx is canceled or
+// its deadline expires the search stops at the next node boundary (and
+// in-flight LP relaxations abort at their next pivot poll); the best
+// incumbent found so far is returned, exactly as for an expired Deadline.
+// Callers that must distinguish hard cancellation inspect ctx.Err()
+// themselves.
+func (p *Problem) SolveCtx(ctx context.Context, opt Options) *Result {
 	tol := opt.Tol
 	if tol <= 0 {
 		tol = 1e-6
@@ -181,7 +193,7 @@ func (p *Problem) Solve(opt Options) *Result {
 	}
 
 	for open.Len() > 0 {
-		if res.Nodes >= maxNodes || checkDeadline() {
+		if res.Nodes >= maxNodes || checkDeadline() || ctx.Err() != nil {
 			break
 		}
 		nd := heap.Pop(open).(*node)
@@ -194,9 +206,12 @@ func (p *Problem) Solve(opt Options) *Result {
 		for _, b := range nd.bounds {
 			rel.AddConstraint([]lp.Term{{Var: b.v, Coef: 1}}, b.sense, b.bound)
 		}
-		sol, err := rel.SolveOpts(opt.LPOptions)
+		sol, err := rel.SolveCtx(ctx, opt.LPOptions)
+		if sol != nil {
+			res.LPIters += sol.Iters
+		}
 		if err != nil {
-			continue
+			continue // canceled mid-relaxation; the loop head exits next
 		}
 		switch sol.Status {
 		case lp.Infeasible:
@@ -250,12 +265,16 @@ func (p *Problem) Solve(opt Options) *Result {
 		}
 	}
 	res.Bound = bound
-	if res.Status == Feasible && open.Len() == 0 && res.Nodes < maxNodes {
-		res.Status = Optimal
-		res.Bound = incObj
-	}
-	if res.Status == Unknown && open.Len() == 0 && res.Nodes > 0 {
-		res.Status = Infeasible
+	// Optimality and infeasibility may only be claimed when the search tree
+	// was actually exhausted, not cut short by cancellation.
+	if ctx.Err() == nil {
+		if res.Status == Feasible && open.Len() == 0 && res.Nodes < maxNodes {
+			res.Status = Optimal
+			res.Bound = incObj
+		}
+		if res.Status == Unknown && open.Len() == 0 && res.Nodes > 0 {
+			res.Status = Infeasible
+		}
 	}
 	return res
 }

@@ -1,0 +1,134 @@
+// Package obs defines the Observer tracing layer of the RAHTM pipeline:
+// a small event interface through which long-running phases (clustering,
+// hierarchical cube mapping, beam merging, LP/MILP solves) report structured
+// progress to the caller.
+//
+// Observers are delivered to the pipeline via core.Config (and, on the
+// public facade, rahtm.PipelineConfig / rahtm.Mapper). The zero default is
+// Nop; Log writes line-oriented events to an io.Writer. Implementations
+// must be safe for sequential use from the pipeline goroutine; Log is
+// additionally safe for concurrent use.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Pipeline phase names passed to PhaseStart / PhaseEnd.
+const (
+	PhaseCluster = "cluster" // Phase 1: concentration + per-level coarsening
+	PhaseMap     = "map"     // Phase 2: top-down cube mapping
+	PhaseMerge   = "merge"   // Phase 3: bottom-up beam merging
+)
+
+// Observer receives structured progress events from the RAHTM pipeline.
+// Callbacks must not block; the pipeline invokes them synchronously on its
+// hot paths (sampled, so the volume stays modest).
+type Observer interface {
+	// PhaseStart fires when a pipeline phase begins (PhaseCluster,
+	// PhaseMap, PhaseMerge).
+	PhaseStart(phase string)
+	// PhaseEnd fires when the phase completes, with its wall-clock
+	// duration.
+	PhaseEnd(phase string, elapsed time.Duration)
+	// SubproblemSolved fires once per Phase 2 cube subproblem: hierarchy
+	// level, solver method, achieved MCL, and whether the solution came
+	// from the sibling-reuse cache.
+	SubproblemSolved(level int, method string, mcl float64, cached bool)
+	// AnnealSample reports a sampled point of a simulated-annealing run:
+	// restart index, iteration, current temperature, current energy
+	// (MCL), and best energy so far.
+	AnnealSample(restart, iter int, temp, energy, best float64)
+	// BeamRound reports one Phase 3 merge step: hierarchy level, step
+	// index within the merge, surviving candidate count, and the best MCL
+	// in the beam.
+	BeamRound(level, step, candidates int, bestMCL float64)
+	// LPIterations reports simplex iterations spent by an LP or MILP
+	// solve.
+	LPIterations(iters int)
+}
+
+// Nop is the no-op Observer; the pipeline default.
+type Nop struct{}
+
+// PhaseStart implements Observer.
+func (Nop) PhaseStart(string) {}
+
+// PhaseEnd implements Observer.
+func (Nop) PhaseEnd(string, time.Duration) {}
+
+// SubproblemSolved implements Observer.
+func (Nop) SubproblemSolved(int, string, float64, bool) {}
+
+// AnnealSample implements Observer.
+func (Nop) AnnealSample(int, int, float64, float64, float64) {}
+
+// BeamRound implements Observer.
+func (Nop) BeamRound(int, int, int, float64) {}
+
+// LPIterations implements Observer.
+func (Nop) LPIterations(int) {}
+
+// OrNop returns o, or Nop when o is nil, so call sites never need a nil
+// check.
+func OrNop(o Observer) Observer {
+	if o == nil {
+		return Nop{}
+	}
+	return o
+}
+
+// Log is an Observer that writes one line per event to W, prefixed with
+// "rahtm:". It is safe for concurrent use. The zero value discards events;
+// use NewLog.
+type Log struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewLog returns a Log writing to w.
+func NewLog(w io.Writer) *Log { return &Log{w: w} }
+
+func (l *Log) printf(format string, args ...interface{}) {
+	if l == nil || l.w == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	fmt.Fprintf(l.w, "rahtm: "+format+"\n", args...)
+}
+
+// PhaseStart implements Observer.
+func (l *Log) PhaseStart(phase string) { l.printf("phase %s start", phase) }
+
+// PhaseEnd implements Observer.
+func (l *Log) PhaseEnd(phase string, elapsed time.Duration) {
+	l.printf("phase %s done in %v", phase, elapsed)
+}
+
+// SubproblemSolved implements Observer.
+func (l *Log) SubproblemSolved(level int, method string, mcl float64, cached bool) {
+	suffix := ""
+	if cached {
+		suffix = " (cached)"
+	}
+	l.printf("level %d subproblem solved by %s, mcl %.4g%s", level, method, mcl, suffix)
+}
+
+// AnnealSample implements Observer.
+func (l *Log) AnnealSample(restart, iter int, temp, energy, best float64) {
+	l.printf("anneal restart %d iter %d temp %.4g energy %.4g best %.4g",
+		restart, iter, temp, energy, best)
+}
+
+// BeamRound implements Observer.
+func (l *Log) BeamRound(level, step, candidates int, bestMCL float64) {
+	l.printf("level %d merge step %d: %d candidates, best mcl %.4g",
+		level, step, candidates, bestMCL)
+}
+
+// LPIterations implements Observer.
+func (l *Log) LPIterations(iters int) { l.printf("lp solve: %d simplex iterations", iters) }

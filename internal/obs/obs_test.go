@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestOrNop(t *testing.T) {
+	if OrNop(nil) == nil {
+		t.Fatal("OrNop(nil) must return a usable observer")
+	}
+	l := NewLog(&strings.Builder{})
+	if OrNop(l) != Observer(l) {
+		t.Fatal("OrNop must pass through non-nil observers")
+	}
+	// Nop must absorb every event without panicking.
+	n := OrNop(nil)
+	n.PhaseStart(PhaseCluster)
+	n.PhaseEnd(PhaseMap, time.Second)
+	n.SubproblemSolved(0, "anneal", 1, false)
+	n.AnnealSample(0, 0, 1, 1, 1)
+	n.BeamRound(0, 0, 1, 1)
+	n.LPIterations(1)
+}
+
+func TestLogWritesEvents(t *testing.T) {
+	var sb strings.Builder
+	l := NewLog(&sb)
+	l.PhaseStart(PhaseMerge)
+	l.PhaseEnd(PhaseMerge, 3*time.Millisecond)
+	l.SubproblemSolved(2, "milp", 4.5, true)
+	l.AnnealSample(1, 256, 0.5, 10, 9)
+	l.BeamRound(0, 3, 64, 7.25)
+	l.LPIterations(1234)
+	out := sb.String()
+	for _, want := range []string{
+		"phase merge start",
+		"phase merge done",
+		"level 2 subproblem solved by milp",
+		"(cached)",
+		"anneal restart 1",
+		"merge step 3",
+		"1234 simplex iterations",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("log missing %q:\n%s", want, out)
+		}
+	}
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if !strings.HasPrefix(line, "rahtm: ") {
+			t.Fatalf("line %q missing prefix", line)
+		}
+	}
+}
+
+func TestLogConcurrentUse(t *testing.T) {
+	l := NewLog(&strings.Builder{})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				l.BeamRound(i, j, 64, 1)
+			}
+		}(i)
+	}
+	wg.Wait()
+}

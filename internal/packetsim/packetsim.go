@@ -12,6 +12,7 @@
 package packetsim
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -56,6 +57,13 @@ type packet struct {
 // Simulate runs graph g mapped by m on topology t until every packet is
 // delivered, returning timing and queueing statistics.
 func Simulate(t *topology.Torus, g *graph.Comm, m topology.Mapping, cfg Config) (*Result, error) {
+	return SimulateCtx(context.Background(), t, g, m, cfg)
+}
+
+// SimulateCtx is Simulate under a context, polled every 512 cycles. A
+// half-finished simulation has no meaningful statistics, so both hard
+// cancellation and deadline expiry abort with ctx.Err().
+func SimulateCtx(ctx context.Context, t *topology.Torus, g *graph.Comm, m topology.Mapping, cfg Config) (*Result, error) {
 	if len(m) != g.N() {
 		return nil, fmt.Errorf("packetsim: mapping covers %d tasks, graph has %d", len(m), g.N())
 	}
@@ -155,6 +163,11 @@ func Simulate(t *topology.Torus, g *graph.Comm, m topology.Mapping, cfg Config) 
 
 	pendHead := make([]int, t.N())
 	for cycle := 1; cycle <= maxCycles; cycle++ {
+		if cycle&511 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		// Phase 1: each channel delivers its head packet to the neighbor.
 		type arrival struct {
 			node int

@@ -1,0 +1,37 @@
+package rahtm
+
+// Observer tracing surface: the pipeline emits phase boundaries, subproblem
+// solves, annealing samples, beam rounds, and LP iteration counts to an
+// Observer supplied via PipelineConfig.Observer or Mapper.Observer. The
+// implementation lives in internal/obs so every pipeline layer can import
+// it; these aliases are the supported public surface.
+
+import (
+	"io"
+
+	"rahtm/internal/obs"
+)
+
+// Observer receives pipeline trace events. All methods must be safe for
+// concurrent use: Phase 3 scores beam candidates from a worker pool. A nil
+// Observer anywhere in the configuration is treated as a no-op.
+type Observer = obs.Observer
+
+// NopObserver ignores every event. Useful for embedding in partial
+// implementations that only care about some events.
+type NopObserver = obs.Nop
+
+// LogObserver writes one line per event to an io.Writer, serialized by an
+// internal mutex. It is what `rahtm-map -verbose` and `rahtm-bench -verbose`
+// attach to stderr.
+type LogObserver = obs.Log
+
+// NewLogObserver returns a LogObserver writing to w.
+func NewLogObserver(w io.Writer) *LogObserver { return obs.NewLog(w) }
+
+// Phase names passed to Observer.PhaseStart/PhaseEnd.
+const (
+	PhaseCluster = obs.PhaseCluster
+	PhaseMap     = obs.PhaseMap
+	PhaseMerge   = obs.PhaseMerge
+)

@@ -20,6 +20,8 @@
 package rahtm
 
 import (
+	"context"
+
 	"rahtm/internal/core"
 	"rahtm/internal/graph"
 	"rahtm/internal/hiermap"
@@ -102,9 +104,6 @@ var (
 	ManyToOne       = workload.ManyToOne
 )
 
-// workloadAllReduceJob is re-exported in extensions.go as AllReduceJob.
-var workloadAllReduceJob = workload.AllReduceJob
-
 // PhasedWorkload is a multi-phase application: distinct communication
 // patterns separated by barriers. Map the Union graph; simulate with
 // PhasedCommTime, which pays each phase's bottleneck in sequence.
@@ -133,6 +132,8 @@ type Mapper struct {
 	Merge MergeConfig
 	// DisableSiblingReuse turns off the symmetry caches.
 	DisableSiblingReuse bool
+	// Observer receives pipeline trace events (nil = no tracing).
+	Observer Observer
 }
 
 // Name implements ProcMapper.
@@ -141,7 +142,16 @@ func (Mapper) Name() string { return "RAHTM" }
 // MapProcs implements ProcMapper: it runs clustering, hierarchical MILP
 // mapping and beam merging, returning a process-to-node mapping.
 func (m Mapper) MapProcs(w *Workload, t *Torus, conc int) (Mapping, error) {
-	res, err := m.Pipeline(w, t, conc)
+	return m.MapProcsCtx(context.Background(), w, t, conc)
+}
+
+// MapProcsCtx is MapProcs under a context. Canceling ctx aborts the
+// pipeline promptly with ctx.Err(); letting its deadline expire instead
+// degrades gracefully — the pipeline finishes from the best results found
+// so far and still returns a valid mapping (flagged in the PipelineResult
+// stats, which this method discards; use PipelineCtx to observe it).
+func (m Mapper) MapProcsCtx(ctx context.Context, w *Workload, t *Torus, conc int) (Mapping, error) {
+	res, err := m.PipelineCtx(ctx, w, t, conc)
 	if err != nil {
 		return nil, err
 	}
@@ -153,39 +163,54 @@ func (m Mapper) MapProcs(w *Workload, t *Torus, conc int) (Mapping, error) {
 // dimensions are handled by §III-B partitioning (power-of-two boxes mapped
 // independently after a cut-minimizing split).
 func (m Mapper) Pipeline(w *Workload, t *Torus, conc int) (*PipelineResult, error) {
-	return core.MapPartitioned(w.Graph, t, PipelineConfig{
+	return m.PipelineCtx(context.Background(), w, t, conc)
+}
+
+// PipelineCtx is Pipeline under a context. A canceled ctx returns ctx.Err();
+// an expired deadline returns a valid best-effort result with
+// Stats.Degraded set.
+func (m Mapper) PipelineCtx(ctx context.Context, w *Workload, t *Torus, conc int) (*PipelineResult, error) {
+	return core.MapPartitionedCtx(ctx, w.Graph, t, PipelineConfig{
 		Concentration:       conc,
 		GridDims:            w.Grid,
 		Leaf:                m.Leaf,
 		Merge:               m.Merge,
 		DisableSiblingReuse: m.DisableSiblingReuse,
+		Observer:            m.Observer,
 	})
 }
 
 // Baseline mappers (see §IV "Other mappings").
-var (
-	// NewPermutation builds a BG/Q-style dimension-order mapper from a spec
-	// such as "ABCDET".
-	NewPermutation = func(spec string) ProcMapper { return mappers.Permutation{Spec: spec} }
-	// NewHilbert builds the Hilbert-curve mapper.
-	NewHilbert = func() ProcMapper { return mappers.Hilbert{} }
-	// NewRHT builds the Rubik-style hierarchical tiling mapper.
-	NewRHT = func() ProcMapper { return mappers.RHT{} }
-	// NewGreedyHopBytes builds the routing-unaware greedy mapper.
-	NewGreedyHopBytes = func() ProcMapper { return mappers.GreedyHopBytes{} }
-	// NewRandom builds a seeded random mapper.
-	NewRandom = func(seed int64) ProcMapper { return mappers.Random{Seed: seed} }
-	// NewRecursiveBisection builds the Chaco-style recursive-bisection
-	// mapper (topology-aware, routing-unaware).
-	NewRecursiveBisection = func() ProcMapper { return mappers.RecursiveBisection{} }
-	// DefaultMapper returns the machine default (ABCDET-style) for t.
-	DefaultMapper = func(t *Torus) ProcMapper { return mappers.Default(t) }
-)
 
-// StandardPermutations returns the paper's three dimension-permutation
-// baselines generalized to t's dimensionality: the default (ABCDET-style),
-// the T-first variant (TABCDE-style), and the interleaved variant
-// (ACEBDT-style).
+// NewPermutation builds a BG/Q-style dimension-order mapper from a spec
+// such as "ABCDET".
+func NewPermutation(spec string) ProcMapper { return mappers.Permutation{Spec: spec} }
+
+// NewHilbert builds the Hilbert-curve mapper.
+func NewHilbert() ProcMapper { return mappers.Hilbert{} }
+
+// NewRHT builds the Rubik-style hierarchical tiling mapper.
+func NewRHT() ProcMapper { return mappers.RHT{} }
+
+// NewGreedyHopBytes builds the routing-unaware greedy mapper.
+func NewGreedyHopBytes() ProcMapper { return mappers.GreedyHopBytes{} }
+
+// NewRandom builds a seeded random mapper.
+func NewRandom(seed int64) ProcMapper { return mappers.Random{Seed: seed} }
+
+// NewRecursiveBisection builds the Chaco-style recursive-bisection mapper
+// (topology-aware, routing-unaware).
+func NewRecursiveBisection() ProcMapper { return mappers.RecursiveBisection{} }
+
+// DefaultMapper returns the machine default (ABCDET-style) for t.
+func DefaultMapper(t *Torus) ProcMapper { return mappers.Default(t) }
+
+// StandardPermutations returns the paper's dimension-permutation baselines
+// generalized to t's dimensionality: the default (ABCDET-style), the T-first
+// variant (TABCDE-style), and the interleaved variant (ACEBDT-style).
+// Variants whose spec coincides with an earlier one are dropped — on 1-D and
+// 2-D tori the interleaved order equals the default, so those tori get two
+// baselines rather than a duplicated pair.
 func StandardPermutations(t *Torus) []ProcMapper {
 	nd := t.NumDims()
 	letters := make([]byte, 0, nd+1)
@@ -202,11 +227,18 @@ func StandardPermutations(t *Torus) []ProcMapper {
 		inter = append(inter, byte('A'+d))
 	}
 	interleaved := string(inter) + "T"
-	return []ProcMapper{
-		mappers.Permutation{Spec: def},
-		mappers.Permutation{Spec: tFirst},
-		mappers.Permutation{Spec: interleaved},
+
+	specs := []string{def, tFirst, interleaved}
+	seen := make(map[string]bool, len(specs))
+	out := make([]ProcMapper, 0, len(specs))
+	for _, spec := range specs {
+		if seen[spec] {
+			continue
+		}
+		seen[spec] = true
+		out = append(out, mappers.Permutation{Spec: spec})
 	}
+	return out
 }
 
 // StandardMappers returns the paper's full comparison set for t: the three

@@ -1,0 +1,36 @@
+package rahtm
+
+// Routing diagnostics surface: per-channel load vectors and their summary
+// statistics, plus the routing algorithms the evaluator models. These were
+// previously reachable only through internal/routing; re-exported so users
+// can inspect *where* a mapping's hotspots are, not just the scalar MCL.
+
+import (
+	"rahtm/internal/routing"
+)
+
+// RoutingAlgorithm models how a flow's volume spreads over channels.
+type RoutingAlgorithm = routing.Algorithm
+
+// MinimalAdaptive splits each flow uniformly over all minimal paths — the
+// paper's approximation of BG/Q's minimal adaptive routing, and the model
+// every MCL in this package uses unless stated otherwise.
+type MinimalAdaptive = routing.MinimalAdaptive
+
+// DimOrder routes each flow dimension by dimension in a fixed order
+// (e.g. XYZ), the classic deterministic baseline.
+type DimOrder = routing.DimOrder
+
+// LoadStats summarizes a per-channel load vector.
+type LoadStats = routing.LoadStats
+
+// ChannelLoads returns the per-channel load vector of g mapped by m onto t
+// under alg, indexed by channel id (see Torus.ChannelID/DecodeChannel).
+func ChannelLoads(t *Torus, g *Comm, m Mapping, alg RoutingAlgorithm) []float64 {
+	return routing.ChannelLoads(t, g, m, alg)
+}
+
+// LoadStatsOf summarizes a load vector produced by ChannelLoads.
+func LoadStatsOf(t *Torus, loads []float64) LoadStats {
+	return routing.Stats(t, loads)
+}

@@ -1,0 +1,35 @@
+package rahtm
+
+import (
+	"math"
+	"testing"
+)
+
+func TestChannelLoadsFacade(t *testing.T) {
+	tp := NewTorus(4, 4)
+	w := Halo2D(4, 4, 10)
+	m := Identity(16)
+	loads := ChannelLoads(tp, w.Graph, m, MinimalAdaptive{})
+	if len(loads) != tp.NumChannels() {
+		t.Fatalf("got %d channel loads, want %d", len(loads), tp.NumChannels())
+	}
+	stats := LoadStatsOf(tp, loads)
+	if math.Abs(stats.MCL-MCL(tp, w.Graph, m)) > 1e-12 {
+		t.Fatalf("LoadStatsOf MCL %v != MCL() %v", stats.MCL, MCL(tp, w.Graph, m))
+	}
+	if stats.Total <= 0 || stats.NumUsed == 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	// Dimension-order routing concentrates load differently but moves the
+	// same total volume.
+	dor := ChannelLoads(tp, w.Graph, m, DimOrder{Order: []int{0, 1}})
+	sum := func(xs []float64) (s float64) {
+		for _, x := range xs {
+			s += x
+		}
+		return
+	}
+	if math.Abs(sum(dor)-sum(loads)) > 1e-9 {
+		t.Fatalf("DOR total %v != minimal-adaptive total %v", sum(dor), sum(loads))
+	}
+}
