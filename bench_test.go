@@ -335,3 +335,47 @@ func BenchmarkSimplexLP(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkParallelPipeline measures the level-wise scheduler on a
+// 512-process 3-D halo: the same workload mapped fully sequentially
+// (Parallelism=1) and with one worker per CPU (Parallelism=0). Results are
+// byte-identical by construction — the benchmark fails if they diverge —
+// so the only difference is Phase 2 + Phase 3 wall time, reported as
+// phase23-ms. On a multi-core host the parallel variant is expected to be
+// >=2x faster; on a single-CPU host the two variants coincide.
+func BenchmarkParallelPipeline(b *testing.B) {
+	w := Halo3D(8, 8, 8, 10)  // 512 processes
+	t := NewTorus(4, 4, 8)    // 128 nodes, concentration 4
+	var mu sync.Mutex
+	mcls := map[string]float64{}
+	for _, bc := range []struct {
+		name string
+		par  int
+	}{
+		{"parallelism=1", 1},
+		{"parallelism=NumCPU", 0},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			m := Mapper{Parallelism: bc.par}
+			var phase23, mcl float64
+			for i := 0; i < b.N; i++ {
+				res, err := m.Pipeline(w, t, 4)
+				if err != nil {
+					b.Fatal(err)
+				}
+				phase23 = float64((res.Stats.MapTime + res.Stats.MergeTime).Milliseconds())
+				mcl = res.MCL
+			}
+			b.ReportMetric(phase23, "phase23-ms")
+			b.ReportMetric(mcl, "MCL")
+			mu.Lock()
+			mcls[bc.name] = mcl
+			mu.Unlock()
+		})
+	}
+	if seq, ok := mcls["parallelism=1"]; ok {
+		if par, ok := mcls["parallelism=NumCPU"]; ok && par != seq {
+			b.Fatalf("parallel MCL %v != sequential MCL %v", par, seq)
+		}
+	}
+}

@@ -17,10 +17,12 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 	"runtime/pprof"
 	"strconv"
 	"strings"
@@ -38,7 +40,9 @@ func main() {
 		beam     = flag.Int("beam", 0, "Phase 3 beam width override (0 = paper default 64)")
 		orient   = flag.Int("orient", 0, "Phase 3 orientation cap override (0 = default)")
 		timeout  = flag.Duration("timeout", 0, "time budget for the whole run; on expiry RAHTM degrades to best-so-far mappings")
+		workers  = flag.Int("parallelism", 0, "RAHTM scheduler worker goroutines (0 = all CPUs, 1 = sequential); results are identical for every setting")
 		verbose  = flag.Bool("verbose", false, "trace pipeline phases and solver progress to stderr")
+		jsonOut  = flag.String("json", "", "also write machine-readable results (per-case MCL, wall times, pipeline phase stats) to this file")
 		pprofOut = flag.String("pprof", "", "write a CPU profile to this file")
 	)
 	flag.Parse()
@@ -62,7 +66,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	rahtmMapper := rahtm.Mapper{}
+	rahtmMapper := rahtm.Mapper{Parallelism: *workers}
 	if *beam > 0 {
 		rahtmMapper.Merge.BeamWidth = *beam
 	}
@@ -71,6 +75,11 @@ func main() {
 	}
 	if *verbose {
 		rahtmMapper.Observer = rahtm.NewLogObserver(os.Stderr)
+		eff := *workers
+		if eff == 0 {
+			eff = runtime.NumCPU()
+		}
+		fmt.Fprintf(os.Stderr, "rahtm-bench: scheduler parallelism %d (GOMAXPROCS %d)\n", eff, runtime.GOMAXPROCS(0))
 	}
 	ms := rahtm.StandardMappers(t)
 	ms[len(ms)-1] = rahtmMapper
@@ -100,6 +109,7 @@ func main() {
 		fmt.Printf("(suite mapped and simulated in %v)\n\n", time.Since(start).Round(time.Millisecond))
 	}
 
+	var pipes []pipelineJSON
 	switch *fig {
 	case "8":
 		must(rahtm.WriteTable(os.Stdout, cs, "exec"))
@@ -108,7 +118,7 @@ func main() {
 	case "10":
 		must(rahtm.WriteTable(os.Stdout, cs, "comm"))
 	case "opt":
-		optimizationTime(ctx, ws, t, *conc, rahtmMapper)
+		pipes = optimizationTime(ctx, ws, t, *conc, rahtmMapper)
 	case "all":
 		must(rahtm.CommFractionTable(os.Stdout, ws, t, *conc, ms[0], rahtm.Model{}))
 		fmt.Println()
@@ -116,19 +126,145 @@ func main() {
 		fmt.Println()
 		must(rahtm.WriteTable(os.Stdout, cs, "exec"))
 		fmt.Println()
-		optimizationTime(ctx, ws, t, *conc, rahtmMapper)
+		pipes = optimizationTime(ctx, ws, t, *conc, rahtmMapper)
 	default:
 		fatal(fmt.Errorf("unknown -fig %q (want 8, 9, 10, opt or all)", *fig))
 	}
+
+	if *jsonOut != "" {
+		if pipes == nil {
+			// The selected figure did not run the pipeline stats pass;
+			// run it silently so the JSON report is complete.
+			pipes = collectPipelineStats(ctx, ws, t, *conc, rahtmMapper)
+		}
+		must(writeJSON(*jsonOut, t, *procs, *conc, *workers, *fig, cs, pipes))
+	}
+}
+
+// benchJSON is the machine-readable report written by -json: enough to
+// track the performance trajectory of the mapper across revisions.
+type benchJSON struct {
+	Config struct {
+		Topology    string `json:"topology"`
+		Procs       int    `json:"procs"`
+		Conc        int    `json:"conc"`
+		Parallelism int    `json:"parallelism"` // requested; 0 = all CPUs
+		GOMAXPROCS  int    `json:"gomaxprocs"`
+		Fig         string `json:"fig"`
+	} `json:"config"`
+	Cases     []caseJSON     `json:"cases,omitempty"`
+	Pipelines []pipelineJSON `json:"pipelines,omitempty"`
+}
+
+// caseJSON is one (workload, mapper) comparison row.
+type caseJSON struct {
+	Workload  string  `json:"workload"`
+	Mapper    string  `json:"mapper"`
+	MCL       float64 `json:"mcl"`
+	HopBytes  float64 `json:"hop_bytes"`
+	CommTimeS float64 `json:"comm_time_s"`
+	ExecTimeS float64 `json:"exec_time_s"`
+	RelComm   float64 `json:"rel_comm"`
+	RelExec   float64 `json:"rel_exec"`
+	MapWallMS float64 `json:"map_wall_ms"`
+	Err       string  `json:"error,omitempty"`
+}
+
+// pipelineJSON is one workload's RAHTM pipeline phase breakdown.
+type pipelineJSON struct {
+	Workload       string  `json:"workload"`
+	ClusterMS      float64 `json:"cluster_ms"`
+	MapMS          float64 `json:"map_ms"`
+	MergeMS        float64 `json:"merge_ms"`
+	MapWorkMS      float64 `json:"map_work_ms"`
+	MergeWorkMS    float64 `json:"merge_work_ms"`
+	Subproblems    int     `json:"subproblems"`
+	SubproblemsHit int     `json:"subproblems_hit"`
+	Merges         int     `json:"merges"`
+	MergesHit      int     `json:"merges_hit"`
+	Parallelism    int     `json:"parallelism"` // effective worker count
+	MCL            float64 `json:"mcl"`
+	Degraded       bool    `json:"degraded"`
+	Err            string  `json:"error,omitempty"`
+}
+
+func pipelineRow(w *rahtm.Workload, res *rahtm.PipelineResult, err error) pipelineJSON {
+	p := pipelineJSON{Workload: w.Name}
+	if err != nil {
+		p.Err = err.Error()
+		return p
+	}
+	s := res.Stats
+	p.ClusterMS = ms(s.ClusterTime)
+	p.MapMS = ms(s.MapTime)
+	p.MergeMS = ms(s.MergeTime)
+	p.MapWorkMS = ms(s.MapWorkTime)
+	p.MergeWorkMS = ms(s.MergeWorkTime)
+	p.Subproblems = s.Subproblems
+	p.SubproblemsHit = s.SubproblemsHit
+	p.Merges = s.Merges
+	p.MergesHit = s.MergesHit
+	p.Parallelism = s.Parallelism
+	p.MCL = res.MCL
+	p.Degraded = s.Degraded
+	return p
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// collectPipelineStats runs the RAHTM pipeline per workload solely to
+// gather phase statistics for the JSON report.
+func collectPipelineStats(ctx context.Context, ws []*rahtm.Workload, t *rahtm.Torus, conc int, m rahtm.Mapper) []pipelineJSON {
+	out := make([]pipelineJSON, 0, len(ws))
+	for _, w := range ws {
+		res, err := m.PipelineCtx(ctx, w, t, conc)
+		out = append(out, pipelineRow(w, res, err))
+	}
+	return out
+}
+
+func writeJSON(path string, t *rahtm.Torus, procs, conc, workers int, fig string, cs []*rahtm.Comparison, pipes []pipelineJSON) error {
+	var rep benchJSON
+	rep.Config.Topology = t.String()
+	rep.Config.Procs = procs
+	rep.Config.Conc = conc
+	rep.Config.Parallelism = workers
+	rep.Config.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	rep.Config.Fig = fig
+	for _, c := range cs {
+		for _, r := range c.Rows {
+			rep.Cases = append(rep.Cases, caseJSON{
+				Workload:  c.Workload,
+				Mapper:    r.Mapper,
+				MCL:       r.MCL,
+				HopBytes:  r.HopBytes,
+				CommTimeS: r.CommTime,
+				ExecTimeS: r.ExecTime,
+				RelComm:   r.RelComm,
+				RelExec:   r.RelExec,
+				MapWallMS: ms(r.MapTime),
+				Err:       r.Err,
+			})
+		}
+	}
+	rep.Pipelines = pipes
+	b, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
 }
 
 // optimizationTime reports RAHTM's offline mapping cost per benchmark
-// (the Section V-B discussion: minutes to hours at the paper's scale).
-func optimizationTime(ctx context.Context, ws []*rahtm.Workload, t *rahtm.Torus, conc int, m rahtm.Mapper) {
+// (the Section V-B discussion: minutes to hours at the paper's scale) and
+// returns the per-workload phase breakdowns for the JSON report.
+func optimizationTime(ctx context.Context, ws []*rahtm.Workload, t *rahtm.Torus, conc int, m rahtm.Mapper) []pipelineJSON {
 	fmt.Println("offline mapping computation time (Section V-B)")
 	fmt.Printf("%-10s %12s %12s %12s %12s\n", "benchmark", "cluster", "map", "merge", "total")
+	out := make([]pipelineJSON, 0, len(ws))
 	for _, w := range ws {
 		res, err := m.PipelineCtx(ctx, w, t, conc)
+		out = append(out, pipelineRow(w, res, err))
 		if err != nil {
 			fmt.Printf("%-10s error: %v\n", w.Name, err)
 			continue
@@ -143,6 +279,7 @@ func optimizationTime(ctx context.Context, ws []*rahtm.Workload, t *rahtm.Torus,
 			s.ClusterTime.Round(time.Millisecond), s.MapTime.Round(time.Millisecond),
 			s.MergeTime.Round(time.Millisecond), total.Round(time.Millisecond), note)
 	}
+	return out
 }
 
 func parseTopo(spec string) (*rahtm.Torus, error) {

@@ -37,6 +37,7 @@ func main() {
 		format   = flag.String("format", "ranks", "map file format: ranks (one node per line) or coords (BG/Q tuples)")
 		quiet    = flag.Bool("q", false, "suppress the quality report")
 		timeout  = flag.Duration("timeout", 0, "mapping time budget; on expiry RAHTM returns its best mapping so far")
+		workers  = flag.Int("parallelism", 0, "RAHTM scheduler worker goroutines (0 = all CPUs, 1 = sequential); results are identical for every setting")
 		verbose  = flag.Bool("verbose", false, "trace pipeline phases and solver progress to stderr")
 		pprofOut = flag.String("pprof", "", "write a CPU profile of the mapping computation to this file")
 	)
@@ -68,8 +69,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if rm, ok := m.(rahtm.Mapper); ok && *verbose {
-		rm.Observer = rahtm.NewLogObserver(os.Stderr)
+	if rm, ok := m.(rahtm.Mapper); ok {
+		rm.Parallelism = *workers
+		if *verbose {
+			rm.Observer = rahtm.NewLogObserver(os.Stderr)
+		}
 		m = rm
 	}
 
@@ -97,6 +101,11 @@ func main() {
 		}
 		if res.Stats.Degraded {
 			fmt.Fprintln(os.Stderr, "rahtm-map: time budget expired; returning the best mapping found so far")
+		}
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "rahtm-map: scheduler parallelism %d (map work %v, merge work %v)\n",
+				res.Stats.Parallelism, res.Stats.MapWorkTime.Round(time.Millisecond),
+				res.Stats.MergeWorkTime.Round(time.Millisecond))
 		}
 		mapping = res.ProcToNode
 	} else {

@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"rahtm/internal/cluster"
@@ -41,6 +42,12 @@ type Config struct {
 	// DisableSiblingReuse turns off the symmetry optimization that copies
 	// solutions across subproblems with identical communication structure.
 	DisableSiblingReuse bool
+	// Parallelism bounds the worker goroutines of the level-wise Phase 2/3
+	// scheduler (0 = runtime.NumCPU(), 1 = fully sequential). Unless
+	// Merge.Parallelism is set explicitly, the leftover worker budget is
+	// also forwarded to the Phase 3 beam scorers. Results are identical
+	// for every setting; see DESIGN.md "Concurrency architecture".
+	Parallelism int
 	// Observer receives pipeline trace events (phase boundaries, subproblem
 	// solves, annealing samples, beam rounds, LP iteration counts). Nil is a
 	// no-op. The same observer is forwarded to the Phase 2 and Phase 3
@@ -53,6 +60,15 @@ type PhaseStats struct {
 	ClusterTime time.Duration
 	MapTime     time.Duration
 	MergeTime   time.Duration
+
+	// Parallelism is the effective worker count of the level-wise
+	// scheduler (Config.Parallelism after resolving 0 to NumCPU).
+	Parallelism int
+	// MapWorkTime and MergeWorkTime accumulate solver wall time across
+	// Phase 2 / Phase 3 workers; with W workers they can exceed MapTime /
+	// MergeTime by up to a factor of W.
+	MapWorkTime   time.Duration
+	MergeWorkTime time.Duration
 
 	Subproblems    int // Phase 2 cube mappings required
 	SubproblemsHit int // solved via the sibling-reuse cache
@@ -171,58 +187,80 @@ func MapProcessesCtx(ctx context.Context, proc *graph.Comm, t *topology.Torus, c
 	o.PhaseEnd(obs.PhaseCluster, res.Stats.ClusterTime)
 
 	// ---- Phase 2: top-down cube mapping --------------------------------
+	// Within a level every sibling subproblem is independent (§III-C), so
+	// the level-wise scheduler groups siblings by the same structural
+	// fingerprint the sequential sibling-reuse cache keyed on, solves one
+	// representative per group on a bounded worker pool, and fans results
+	// out in sibling index order — byte-identical to the sequential run.
+	workers := workerCount(cfg.Parallelism)
+	res.Stats.Parallelism = workers
 	o.PhaseStart(obs.PhaseMap)
 	start = time.Now()
 	// pins[d][entity] = position of the depth-(d+1) entity within its
 	// parent's CubeShape(d) cube.
 	pins := make([][]int, L)
-	type mapCacheEntry struct {
-		mapping topology.Mapping
-		mcl     float64
-		method  hiermap.Method
-	}
-	mapCache := make(map[uint64]mapCacheEntry)
+	var mapWork atomic.Int64 // cumulative solver nanoseconds across workers
+	mapJobs := 0
 	for d := 0; d < L; d++ {
 		count := entityCount(h, d+1)
 		pins[d] = make([]int, count)
 		shape := h.CubeShape(d)
-		for parent := range members[d] {
-			if err := hardCancel(ctx); err != nil {
-				return nil, err
+		parents := members[d]
+		locals := make([]*graph.Comm, len(parents))
+		for parent, kids := range parents {
+			locals[parent], _ = graphs[d+1].InducedSubgraph(kids)
+		}
+		rep, groupOf := siblingGroups(len(parents), cfg.DisableSiblingReuse, func(i int) uint64 {
+			return locals[i].StructuralHash() ^ uint64(d)<<56
+		})
+		type solveResult struct {
+			res *hiermap.Result
+			err error
+		}
+		solved := make([]solveResult, len(rep))
+		mapJobs += len(rep)
+		if err := forEach(ctx, workers, len(rep), func(gi int) {
+			lc := cfg.Leaf
+			lc.Torus = d == 0 && anyWrap(t)
+			if lc.Observer == nil {
+				lc.Observer = cfg.Observer
 			}
-			kids := members[d][parent]
-			local, _ := graphs[d+1].InducedSubgraph(kids)
+			t0 := time.Now()
+			r, err := hiermap.MapCtx(ctx, locals[rep[gi]], shape, lc)
+			mapWork.Add(int64(time.Since(t0)))
+			solved[gi] = solveResult{res: r, err: err}
+		}); err != nil {
+			return nil, err
+		}
+		for _, s := range solved {
+			if s.err != nil {
+				return nil, fmt.Errorf("core: phase 2 level %d: %w", d, s.err)
+			}
+		}
+		// Commit in sibling index order: representatives count as solves,
+		// the rest as cache hits, exactly like the sequential pipeline.
+		for parent, kids := range parents {
+			gi := groupOf[parent]
+			r := solved[gi].res
 			res.Stats.Subproblems++
-			var mapping topology.Mapping
-			key := local.StructuralHash() ^ uint64(d)<<56
-			if e, ok := mapCache[key]; ok && !cfg.DisableSiblingReuse {
-				mapping = e.mapping
+			cached := parent != rep[gi]
+			if cached {
 				res.Stats.SubproblemsHit++
-				o.SubproblemSolved(d, e.method.String(), e.mcl, true)
 			} else {
-				lc := cfg.Leaf
-				lc.Torus = d == 0 && anyWrap(t)
-				if lc.Observer == nil {
-					lc.Observer = cfg.Observer
-				}
-				r, err := hiermap.MapCtx(ctx, local, shape, lc)
-				if err != nil {
-					return nil, fmt.Errorf("core: phase 2 level %d: %w", d, err)
-				}
-				mapping = r.Mapping
 				res.Stats.LeafMethod = r.Method
 				if r.Degraded {
 					res.Stats.Degraded = true
 				}
-				o.SubproblemSolved(d, r.Method.String(), r.MCL, false)
-				mapCache[key] = mapCacheEntry{mapping: mapping, mcl: r.MCL, method: r.Method}
 			}
+			o.SubproblemSolved(d, r.Method.String(), r.MCL, cached)
 			for j, kid := range kids {
-				pins[d][kid] = mapping[j]
+				pins[d][kid] = r.Mapping[j]
 			}
 		}
 	}
 	res.Stats.MapTime = time.Since(start)
+	res.Stats.MapWorkTime = time.Duration(mapWork.Load())
+	obs.EmitWorkerPool(o, obs.PhaseMap, workers, mapJobs, res.Stats.MapWorkTime)
 	o.PhaseEnd(obs.PhaseMap, res.Stats.MapTime)
 
 	// ---- Phase 3: bottom-up merging ------------------------------------
@@ -240,51 +278,83 @@ func MapProcessesCtx(ctx context.Context, proc *graph.Comm, t *topology.Torus, c
 		mcl := hiermap.Evaluate(sub, leafShape, false, local)
 		blocks[i] = merge.NewLeafBlock(kids, leafShape, local, mcl)
 	}
-	mergeCache := make(map[uint64]*merge.Block)
+	// Sibling merges within a level are independent (§III-D): dedupe them
+	// by mergeKey, merge one representative per group concurrently, and
+	// translate the rest. The worker budget not consumed by concurrent
+	// sibling merges flows into each merge's internal beam scorers, so the
+	// root merge (a single group) still uses every worker.
+	var mergeWork atomic.Int64
+	mergeJobs := 0
 	for d := L - 2; d >= 0; d-- {
 		parents := members[d]
 		next := make([]*merge.Block, len(parents))
+		childSets := make([][]*merge.Block, len(parents))
+		posSets := make([][]int, len(parents))
 		for i, kids := range parents {
-			if err := hardCancel(ctx); err != nil {
-				return nil, err
-			}
 			children := make([]*merge.Block, len(kids))
 			childPos := make([]int, len(kids))
 			for j, kid := range kids {
 				children[j] = blocks[kid]
 				childPos[j] = pins[d][kid]
 			}
-			mc := cfg.Merge
-			mc.Level = d
-			if mc.Observer == nil {
-				mc.Observer = cfg.Observer
+			childSets[i] = children
+			posSets[i] = childPos
+		}
+		rep, groupOf := siblingGroups(len(parents), cfg.DisableSiblingReuse, func(i int) uint64 {
+			return mergeKey(nodeGraph, childSets[i], posSets[i], d)
+		})
+		mc := cfg.Merge
+		mc.Level = d
+		if mc.Observer == nil {
+			mc.Observer = cfg.Observer
+		}
+		if d == 0 {
+			mc.Torus = anyWrap(t)
+			if sameDims(t, h.BlockShape(0)) {
+				mc.Topology = t
 			}
-			if d == 0 {
-				mc.Torus = anyWrap(t)
-				if sameDims(t, h.BlockShape(0)) {
-					mc.Topology = t
-				}
+		}
+		if mc.Parallelism == 0 {
+			mc.Parallelism = innerParallelism(workers, len(rep))
+		}
+		type mergeResult struct {
+			block *merge.Block
+			err   error
+		}
+		merged := make([]mergeResult, len(rep))
+		mergeJobs += len(rep)
+		if err := forEach(ctx, workers, len(rep), func(gi int) {
+			i := rep[gi]
+			t0 := time.Now()
+			m, err := merge.MergeCtx(ctx, nodeGraph, childSets[i], h.CubeShape(d), posSets[i], mc)
+			mergeWork.Add(int64(time.Since(t0)))
+			merged[gi] = mergeResult{block: m, err: err}
+		}); err != nil {
+			return nil, err
+		}
+		for _, m := range merged {
+			if m.err != nil {
+				return nil, fmt.Errorf("core: phase 3 level %d: %w", d, m.err)
 			}
+		}
+		for i := range parents {
+			gi := groupOf[i]
 			res.Stats.Merges++
-			key := mergeKey(nodeGraph, children, childPos, d)
-			if cached, ok := mergeCache[key]; ok && !cfg.DisableSiblingReuse {
-				next[i] = translateBlock(cached, children)
+			if i == rep[gi] {
+				if merged[gi].block.Degraded {
+					res.Stats.Degraded = true
+				}
+				next[i] = merged[gi].block
+			} else {
+				next[i] = translateBlock(merged[gi].block, childSets[i])
 				res.Stats.MergesHit++
-				continue
 			}
-			m, err := merge.MergeCtx(ctx, nodeGraph, children, h.CubeShape(d), childPos, mc)
-			if err != nil {
-				return nil, fmt.Errorf("core: phase 3 level %d: %w", d, err)
-			}
-			if m.Degraded {
-				res.Stats.Degraded = true
-			}
-			next[i] = m
-			mergeCache[key] = m
 		}
 		blocks = next
 	}
 	res.Stats.MergeTime = time.Since(start)
+	res.Stats.MergeWorkTime = time.Duration(mergeWork.Load())
+	obs.EmitWorkerPool(o, obs.PhaseMerge, workers, mergeJobs, res.Stats.MergeWorkTime)
 	o.PhaseEnd(obs.PhaseMerge, res.Stats.MergeTime)
 
 	// ---- Final assembly -------------------------------------------------

@@ -91,6 +91,32 @@ func Orientations(shape []int) []Orientation {
 	return out
 }
 
+// applyFast is Apply without heap allocations for boxes of at most 8
+// dimensions — the merge scorers call it once per task per candidate.
+func (o Orientation) applyFast(shape []int, pos int) int {
+	nd := len(shape)
+	if nd > 8 {
+		return o.Apply(shape, pos)
+	}
+	var x, y [8]int
+	for d := nd - 1; d >= 0; d-- {
+		x[d] = pos % shape[d]
+		pos /= shape[d]
+	}
+	for d := 0; d < nd; d++ {
+		v := x[o.Perm[d]]
+		if o.Flip[d] {
+			v = shape[d] - 1 - v
+		}
+		y[d] = v
+	}
+	out := 0
+	for d := 0; d < nd; d++ {
+		out = out*shape[d] + y[d]
+	}
+	return out
+}
+
 // Apply transforms a row-major position within a box of the given shape.
 func (o Orientation) Apply(shape []int, pos int) int {
 	nd := len(shape)
@@ -303,6 +329,7 @@ func MergeCtx(ctx context.Context, g *graph.Comm, children []*Block, cubeShape [
 	m.ctx = ctx
 	m.done = ctx.Done()
 	m.obs = obs.OrNop(cfg.Observer)
+	m.initAdjacency()
 	return m.run()
 }
 
@@ -345,15 +372,68 @@ type merger struct {
 	ctx        context.Context
 	done       <-chan struct{} // ctx.Done(), polled inside worker loops
 	obs        obs.Observer
+
+	// Per-task adjacency of the merged tasks, precomputed once so the
+	// scorers do not rebuild (and re-sort) neighbor lists per evaluation.
+	nbr  [][]int
+	nvol [][]float64
+	// scratch pools flowScratch instances sized to g.N() for addFlows.
+	scratch sync.Pool
+}
+
+// flowScratch is the per-call working set of addFlows: task -> parent
+// position plus membership marks, validated by generation counters so the
+// arrays never need clearing between calls.
+type flowScratch struct {
+	pos      []int
+	inA, inB []int64
+	gen      int64
+}
+
+// initAdjacency caches neighbor/volume lists for every task of the merge.
+func (m *merger) initAdjacency() {
+	n := m.g.N()
+	m.nbr = make([][]int, n)
+	m.nvol = make([][]float64, n)
+	for _, c := range m.children {
+		for _, t := range c.Tasks {
+			if m.nbr[t] != nil {
+				continue
+			}
+			ns := m.g.Neighbors(t)
+			vs := make([]float64, len(ns))
+			for i, d := range ns {
+				vs[i] = m.g.Traffic(t, d)
+			}
+			m.nbr[t] = ns
+			m.nvol[t] = vs
+		}
+	}
+	m.scratch.New = func() interface{} {
+		return &flowScratch{
+			pos: make([]int, n),
+			inA: make([]int64, n),
+			inB: make([]int64, n),
+		}
+	}
 }
 
 // taskParentPos computes the parent-box rank of a child's task under a
 // candidate and orientation, with the child block at cube position cubePos.
 func (m *merger) taskParentPos(cand Candidate, o Orientation, cubePos, taskIdx int) int {
-	local := o.Apply(m.childShape, cand.Local[taskIdx])
+	local := o.applyFast(m.childShape, cand.Local[taskIdx])
 	// Decode local within childShape, offset by the child's origin.
 	origin := m.origins[cubePos]
 	nd := len(m.childShape)
+	if nd <= 8 {
+		var buf [8]int
+		coord := buf[:nd]
+		for d := nd - 1; d >= 0; d-- {
+			coord[d] = origin[d] + local%m.childShape[d]
+			local /= m.childShape[d]
+		}
+		return m.parent.RankOf(coord)
+	}
 	coord := make([]int, nd)
 	for d := nd - 1; d >= 0; d-- {
 		coord[d] = origin[d] + local%m.childShape[d]
@@ -381,43 +461,40 @@ func (m *merger) placement(child int, cand Candidate, o Orientation) []int {
 // maps (a may equal b for internal flows) into loads.
 func (m *merger) addFlows(aTasks []int, aPos []int, bTasks []int, bPos []int, loads []float64, includeInternal bool) {
 	alg := routing.MinimalAdaptive{}
-	posOf := make(map[int]int, len(aTasks)+len(bTasks))
+	fs := m.scratch.Get().(*flowScratch)
+	fs.gen++
+	gen := fs.gen
 	for i, t := range aTasks {
-		posOf[t] = aPos[i]
+		fs.pos[t] = aPos[i]
+		fs.inA[t] = gen
 	}
 	for i, t := range bTasks {
-		posOf[t] = bPos[i]
-	}
-	aSet := make(map[int]bool, len(aTasks))
-	for _, t := range aTasks {
-		aSet[t] = true
-	}
-	bSet := make(map[int]bool, len(bTasks))
-	for _, t := range bTasks {
-		bSet[t] = true
+		fs.pos[t] = bPos[i]
+		fs.inB[t] = gen
 	}
 	for _, t := range aTasks {
-		for _, d := range m.g.Neighbors(t) {
-			if !bSet[d] {
+		for ni, d := range m.nbr[t] {
+			if fs.inB[d] != gen {
 				continue
 			}
-			if !includeInternal && aSet[d] {
+			if !includeInternal && fs.inA[d] == gen {
 				continue
 			}
-			alg.AddLoads(m.parent, posOf[t], posOf[d], m.g.Traffic(t, d), loads)
+			alg.AddLoads(m.parent, fs.pos[t], fs.pos[d], m.nvol[t][ni], loads)
 		}
 	}
 	for _, t := range bTasks {
-		if aSet[t] {
+		if fs.inA[t] == gen {
 			continue
 		}
-		for _, d := range m.g.Neighbors(t) {
-			if !aSet[d] {
+		for ni, d := range m.nbr[t] {
+			if fs.inA[d] != gen {
 				continue
 			}
-			alg.AddLoads(m.parent, posOf[t], posOf[d], m.g.Traffic(t, d), loads)
+			alg.AddLoads(m.parent, fs.pos[t], fs.pos[d], m.nvol[t][ni], loads)
 		}
 	}
+	m.scratch.Put(fs)
 }
 
 // mergeOrder ranks children by decreasing average best-pair MCL. Pair

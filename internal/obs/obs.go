@@ -5,9 +5,11 @@
 //
 // Observers are delivered to the pipeline via core.Config (and, on the
 // public facade, rahtm.PipelineConfig / rahtm.Mapper). The zero default is
-// Nop; Log writes line-oriented events to an io.Writer. Implementations
-// must be safe for sequential use from the pipeline goroutine; Log is
-// additionally safe for concurrent use.
+// Nop; Log writes line-oriented events to an io.Writer, serialized by an
+// internal mutex. Every implementation MUST be safe for concurrent use:
+// the level-wise scheduler solves Phase 2 subproblems and Phase 3 merges on
+// worker goroutines, so callbacks fire concurrently whenever the pipeline
+// runs with Parallelism != 1.
 package obs
 
 import (
@@ -27,6 +29,12 @@ const (
 // Observer receives structured progress events from the RAHTM pipeline.
 // Callbacks must not block; the pipeline invokes them synchronously on its
 // hot paths (sampled, so the volume stays modest).
+//
+// Thread safety: implementations must be safe for concurrent use. With
+// pipeline Parallelism != 1 the Phase 2/3 level-wise scheduler invokes
+// SubproblemSolved, AnnealSample, BeamRound and LPIterations from multiple
+// worker goroutines at once (PhaseStart/PhaseEnd remain single-threaded).
+// Guard mutable state with a mutex, as Log does.
 type Observer interface {
 	// PhaseStart fires when a pipeline phase begins (PhaseCluster,
 	// PhaseMap, PhaseMerge).
@@ -71,6 +79,32 @@ func (Nop) BeamRound(int, int, int, float64) {}
 
 // LPIterations implements Observer.
 func (Nop) LPIterations(int) {}
+
+// WorkerPool implements WorkerObserver, so embedders inherit the full
+// surface.
+func (Nop) WorkerPool(string, int, int, time.Duration) {}
+
+// WorkerObserver is an optional Observer extension: observers that also
+// implement it receive worker-pool utilization reports from the level-wise
+// scheduler. Like every Observer callback it must be safe for concurrent
+// use (the pipeline emits it from the coordinating goroutine, once per
+// phase).
+type WorkerObserver interface {
+	// WorkerPool reports a phase's scheduler configuration and cost:
+	// the worker count, the number of jobs (representative subproblem
+	// solves or merges) dispatched, and the cumulative busy time across
+	// workers (with W workers this may exceed the phase wall time by up
+	// to a factor of W).
+	WorkerPool(phase string, workers, jobs int, busy time.Duration)
+}
+
+// EmitWorkerPool forwards a worker-pool report to o when it implements
+// WorkerObserver, and is a no-op otherwise.
+func EmitWorkerPool(o Observer, phase string, workers, jobs int, busy time.Duration) {
+	if wo, ok := o.(WorkerObserver); ok {
+		wo.WorkerPool(phase, workers, jobs, busy)
+	}
+}
 
 // OrNop returns o, or Nop when o is nil, so call sites never need a nil
 // check.
@@ -132,3 +166,8 @@ func (l *Log) BeamRound(level, step, candidates int, bestMCL float64) {
 
 // LPIterations implements Observer.
 func (l *Log) LPIterations(iters int) { l.printf("lp solve: %d simplex iterations", iters) }
+
+// WorkerPool implements WorkerObserver.
+func (l *Log) WorkerPool(phase string, workers, jobs int, busy time.Duration) {
+	l.printf("phase %s scheduler: %d workers, %d jobs, %v cumulative work", phase, workers, jobs, busy)
+}

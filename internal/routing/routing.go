@@ -33,103 +33,122 @@ type Algorithm interface {
 }
 
 // MinimalAdaptive is the balanced all-minimal-paths oblivious approximation
-// of BG/Q's minimal adaptive routing. The zero value is ready to use.
-type MinimalAdaptive struct{}
+// of BG/Q's minimal adaptive routing. The zero value is ready to use, and
+// routes through a process-wide displacement-stencil cache (see stencil.go)
+// that memoizes the translation-invariant per-channel load fractions of
+// each distance vector. The cache is safe for concurrent use.
+type MinimalAdaptive struct {
+	// DisableCache bypasses the displacement-stencil cache and the pooled
+	// scratch fast path, recomputing every flow with the direct DP. Cached
+	// and direct results agree up to floating-point rounding; the switch
+	// exists for A/B validation and benchmarking.
+	DisableCache bool
+}
 
 // Name implements Algorithm.
 func (MinimalAdaptive) Name() string { return "minimal-adaptive" }
 
 // AddLoads implements Algorithm. A negative vol subtracts the flow's loads
 // — incremental evaluators use this to retract a previously added flow.
-func (MinimalAdaptive) AddLoads(t *topology.Torus, src, dst int, vol float64, loads []float64) {
+// It is safe for concurrent use with distinct loads vectors.
+func (a MinimalAdaptive) AddLoads(t *topology.Torus, src, dst int, vol float64, loads []float64) {
 	if src == dst || vol == 0 {
 		return
 	}
 	nd := t.NumDims()
-	cs := t.CoordOf(src, nil)
-	cd := t.CoordOf(dst, nil)
+	sc := getScratch(nd)
+	defer putScratch(sc)
+	cs := t.CoordOf(src, sc.cs)
+	cd := t.CoordOf(dst, sc.cd)
 
 	// Per-dimension minimal direction choices. Ties (torus distance exactly
 	// k/2) admit both directions; every combination of choices contributes
 	// the same number of minimal paths, so combinations weigh equally.
-	type option struct {
-		dir  int
-		dist int
-	}
-	opts := make([][]option, nd)
+	dirs, dists := sc.dirs, sc.dists
 	numCombos := 1
 	for d := 0; d < nd; d++ {
-		a, b := cs[d], cd[d]
-		if a == b {
+		dirs[d], dists[d] = 0, 0
+		x, y := cs[d], cd[d]
+		if x == y {
 			continue
 		}
 		k := t.Dim(d)
 		if !t.Wrap(d) {
-			if b > a {
-				opts[d] = []option{{topology.Plus, b - a}}
+			if y > x {
+				dirs[d], dists[d] = topology.Plus, y-x
 			} else {
-				opts[d] = []option{{topology.Minus, a - b}}
+				dirs[d], dists[d] = topology.Minus, x-y
 			}
 			continue
 		}
-		plus := ((b-a)%k + k) % k
+		plus := ((y-x)%k + k) % k
 		minus := k - plus
 		switch {
 		case plus < minus:
-			opts[d] = []option{{topology.Plus, plus}}
+			dirs[d], dists[d] = topology.Plus, plus
 		case minus < plus:
-			opts[d] = []option{{topology.Minus, minus}}
+			dirs[d], dists[d] = topology.Minus, minus
 		default:
-			opts[d] = []option{{topology.Plus, plus}, {topology.Minus, minus}}
+			// Tie: both directions are minimal. Enumerated below.
+			dirs[d], dists[d] = topology.Plus, plus
+			sc.ties = append(sc.ties, d)
 			numCombos *= 2
 		}
 	}
 
 	comboVol := vol / float64(numCombos)
-	dirs := make([]int, nd)
-	dists := make([]int, nd)
-	var rec func(d int)
-	rec = func(d int) {
-		if d == nd {
-			addMinimalBoxLoads(t, cs, dirs, dists, comboVol, loads)
-			return
+	for mask := 0; mask < numCombos; mask++ {
+		for b, d := range sc.ties {
+			if mask&(1<<uint(b)) == 0 {
+				dirs[d] = topology.Plus
+			} else {
+				dirs[d] = topology.Minus
+			}
 		}
-		if opts[d] == nil {
-			dirs[d], dists[d] = 0, 0
-			rec(d + 1)
+		a.routeBox(t, cs, dirs, dists, comboVol, loads, sc)
+	}
+}
+
+// routeBox deposits one direction-combination's loads, through the stencil
+// cache when the displacement is cacheable and the cache has room, and
+// through the direct DP otherwise.
+func (a MinimalAdaptive) routeBox(t *topology.Torus, cs, dirs, dists []int, vol float64, loads []float64, sc *scratch) {
+	if !a.DisableCache {
+		if s := stencilFor(dists); s != nil {
+			s.apply(t, cs, dirs, vol, loads, sc.coord)
 			return
-		}
-		for _, o := range opts[d] {
-			dirs[d], dists[d] = o.dir, o.dist
-			rec(d + 1)
 		}
 	}
-	rec(0)
+	addMinimalBoxLoads(t, cs, dirs, dists, vol, loads, sc)
 }
 
 // addMinimalBoxLoads runs the proportional-split DP over the minimal box
 // defined by the source coordinate, the per-dimension travel directions and
-// distances, adding channel loads for vol units of flow.
-func addMinimalBoxLoads(t *topology.Torus, cs []int, dirs, dists []int, vol float64, loads []float64) {
+// distances, adding channel loads for vol units of flow. sc supplies the
+// working storage; pass a fresh scratch when calling outside the pool.
+func addMinimalBoxLoads(t *topology.Torus, cs []int, dirs, dists []int, vol float64, loads []float64, sc *scratch) {
 	nd := t.NumDims()
 	// Box shape and local strides (row-major, last dim fastest).
 	total := 1
-	shape := make([]int, nd)
+	shape := sc.shape
 	for d := 0; d < nd; d++ {
 		shape[d] = dists[d] + 1
 		total *= shape[d]
 	}
-	strides := make([]int, nd)
+	strides := sc.strides
 	s := 1
 	for d := nd - 1; d >= 0; d-- {
 		strides[d] = s
 		s *= shape[d]
 	}
 
-	p := make([]float64, total)
+	p := sc.floats(total)
 	p[0] = vol
-	u := make([]int, nd)
-	coord := make([]int, nd)
+	u := sc.u
+	for d := range u {
+		u[d] = 0
+	}
+	coord := sc.coord
 	for idx := 0; idx < total; idx++ {
 		pu := p[idx]
 		if pu == 0 {

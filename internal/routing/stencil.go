@@ -1,0 +1,234 @@
+package routing
+
+// Displacement-stencil cache for the minimal-adaptive evaluator.
+//
+// The proportional-split DP of addMinimalBoxLoads distributes a flow over
+// the minimal box spanned by its per-dimension travel distances. The load
+// *fraction* deposited on each channel of that box depends only on the
+// distance vector — it is invariant under translation of the source, under
+// the travel directions (the box is mirror-symmetric), and under the
+// topology the box is embedded in. The stencil for a distance vector is
+// therefore computed once — a list of (cell offset, dimension, fraction)
+// triples normalized to unit volume — and applied to any concrete flow by
+// translating cell offsets from the flow's source coordinate and scaling by
+// its volume. This turns the per-flow DP (allocate + fill an O(box) flow
+// array) into a linear walk over precomputed fractions, which is what the
+// Phase 3 merge scorers and the annealing incremental evaluator spend most
+// of their time in.
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"rahtm/internal/topology"
+)
+
+const (
+	// maxStencilDims bounds the dimensionality a stencil key can encode.
+	maxStencilDims = 8
+	// maxStencilDist bounds each per-dimension distance a key can encode.
+	maxStencilDist = 255
+	// maxStencilCells bounds the total cells held by the cache (~48 bytes
+	// per cell); displacement vectors beyond the budget are routed by the
+	// direct DP.
+	maxStencilCells = 1 << 20
+)
+
+// stencil is the unit-volume channel-load pattern of one displacement,
+// stored flat: cell c occupies offs[c*nd : (c+1)*nd] and owns cnt[c]
+// consecutive (dims, fracs) entries. Cells appear in the DP's visit order,
+// so applying a stencil deposits loads in exactly the order the direct DP
+// would, keeping results reproducible run to run.
+type stencil struct {
+	nd    int
+	cells int
+	offs  []int32
+	cnt   []int32
+	dims  []int8
+	fracs []float64
+}
+
+var (
+	stencilCache sync.Map // uint64 key -> *stencil
+	stencilCells atomic.Int64
+)
+
+// stencilKey packs a distance vector into a cache key. ok is false when the
+// vector does not fit the key encoding (too many dims or too far).
+func stencilKey(dists []int) (key uint64, ok bool) {
+	if len(dists) > maxStencilDims {
+		return 0, false
+	}
+	key = uint64(len(dists))
+	for _, x := range dists {
+		if x > maxStencilDist {
+			return 0, false
+		}
+		key = key<<8 | uint64(x)
+	}
+	return key, true
+}
+
+// stencilFor returns the cached stencil for dists, building and publishing
+// it on first use. It returns nil when the cache budget is exhausted and the
+// stencil is not already present.
+func stencilFor(dists []int) *stencil {
+	key, ok := stencilKey(dists)
+	if !ok {
+		return nil
+	}
+	if v, ok := stencilCache.Load(key); ok {
+		return v.(*stencil)
+	}
+	s := buildStencil(dists)
+	if stencilCells.Add(int64(s.cells)) > maxStencilCells {
+		stencilCells.Add(-int64(s.cells))
+		return nil
+	}
+	if prev, loaded := stencilCache.LoadOrStore(key, s); loaded {
+		// Lost a build race; keep the published copy and return the cells.
+		stencilCells.Add(-int64(s.cells))
+		return prev.(*stencil)
+	}
+	return s
+}
+
+// buildStencil runs the proportional-split DP once with unit volume,
+// recording per-cell fractions instead of depositing channel loads.
+func buildStencil(dists []int) *stencil {
+	nd := len(dists)
+	total := 1
+	shape := make([]int, nd)
+	for d := 0; d < nd; d++ {
+		shape[d] = dists[d] + 1
+		total *= shape[d]
+	}
+	strides := make([]int, nd)
+	s := 1
+	for d := nd - 1; d >= 0; d-- {
+		strides[d] = s
+		s *= shape[d]
+	}
+
+	st := &stencil{nd: nd}
+	p := make([]float64, total)
+	p[0] = 1
+	u := make([]int, nd)
+	for idx := 0; idx < total; idx++ {
+		pu := p[idx]
+		if pu == 0 {
+			incOffset(u, shape)
+			continue
+		}
+		remain := 0
+		for d := 0; d < nd; d++ {
+			remain += dists[d] - u[d]
+		}
+		if remain > 0 {
+			st.cells++
+			for d := 0; d < nd; d++ {
+				st.offs = append(st.offs, int32(u[d]))
+			}
+			n := int32(0)
+			inv := pu / float64(remain)
+			for d := 0; d < nd; d++ {
+				left := dists[d] - u[d]
+				if left == 0 {
+					continue
+				}
+				frac := inv * float64(left)
+				st.dims = append(st.dims, int8(d))
+				st.fracs = append(st.fracs, frac)
+				p[idx+strides[d]] += frac
+				n++
+			}
+			st.cnt = append(st.cnt, n)
+		}
+		incOffset(u, shape)
+	}
+	return st
+}
+
+// apply translates the stencil to a concrete flow: source coordinate cs,
+// travel directions dirs, vol units of traffic. coord is caller scratch of
+// length nd.
+func (s *stencil) apply(t *topology.Torus, cs, dirs []int, vol float64, loads []float64, coord []int) {
+	nd := s.nd
+	ei := 0
+	for c := 0; c < s.cells; c++ {
+		base := c * nd
+		for d := 0; d < nd; d++ {
+			u := int(s.offs[base+d])
+			if u == 0 {
+				coord[d] = cs[d]
+				continue
+			}
+			k := t.Dim(d)
+			if dirs[d] == topology.Plus {
+				v := cs[d] + u
+				if v >= k {
+					v -= k
+				}
+				coord[d] = v
+			} else {
+				v := cs[d] - u
+				if v < 0 {
+					v += k
+				}
+				coord[d] = v
+			}
+		}
+		node := t.RankOf(coord)
+		for n := s.cnt[c]; n > 0; n-- {
+			d := int(s.dims[ei])
+			loads[t.ChannelID(node, d, dirs[d])] += s.fracs[ei] * vol
+			ei++
+		}
+	}
+}
+
+// scratch holds the per-call working storage of MinimalAdaptive.AddLoads,
+// recycled through a pool so the hot evaluators (merge scorers, annealing
+// swaps) do not allocate per flow.
+type scratch struct {
+	cs, cd, dirs, dists, coord, ties []int
+	shape, strides, u                []int
+	p                                []float64
+}
+
+var scratchPool = sync.Pool{New: func() interface{} { return new(scratch) }}
+
+func getScratch(nd int) *scratch {
+	sc := scratchPool.Get().(*scratch)
+	sc.cs = grow(sc.cs, nd)
+	sc.cd = grow(sc.cd, nd)
+	sc.dirs = grow(sc.dirs, nd)
+	sc.dists = grow(sc.dists, nd)
+	sc.coord = grow(sc.coord, nd)
+	sc.shape = grow(sc.shape, nd)
+	sc.strides = grow(sc.strides, nd)
+	sc.u = grow(sc.u, nd)
+	sc.ties = sc.ties[:0]
+	return sc
+}
+
+func putScratch(sc *scratch) { scratchPool.Put(sc) }
+
+func grow(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+// floats returns a zeroed float scratch of length n from the pool entry.
+func (sc *scratch) floats(n int) []float64 {
+	if cap(sc.p) < n {
+		sc.p = make([]float64, n)
+	}
+	sc.p = sc.p[:n]
+	for i := range sc.p {
+		sc.p[i] = 0
+	}
+	return sc.p
+}

@@ -13,9 +13,18 @@ import (
 )
 
 // Observer receives pipeline trace events. All methods must be safe for
-// concurrent use: Phase 3 scores beam candidates from a worker pool. A nil
-// Observer anywhere in the configuration is treated as a no-op.
+// concurrent use: the level-wise scheduler solves Phase 2 subproblems and
+// Phase 3 merges on worker goroutines (and Phase 3 additionally scores beam
+// candidates from a worker pool), so callbacks fire concurrently whenever
+// the pipeline runs with Parallelism != 1. A nil Observer anywhere in the
+// configuration is treated as a no-op.
 type Observer = obs.Observer
+
+// WorkerObserver is an optional Observer extension: implementations also
+// receive per-phase worker-pool reports (worker count, jobs dispatched,
+// cumulative busy time) from the level-wise scheduler. LogObserver and
+// NopObserver implement it.
+type WorkerObserver = obs.WorkerObserver
 
 // NopObserver ignores every event. Useful for embedding in partial
 // implementations that only care about some events.

@@ -132,6 +132,10 @@ type Mapper struct {
 	Merge MergeConfig
 	// DisableSiblingReuse turns off the symmetry caches.
 	DisableSiblingReuse bool
+	// Parallelism bounds the worker goroutines of the level-wise Phase 2/3
+	// scheduler: 0 uses all CPUs, 1 runs fully sequentially. Results are
+	// identical for every setting.
+	Parallelism int
 	// Observer receives pipeline trace events (nil = no tracing).
 	Observer Observer
 }
@@ -176,6 +180,7 @@ func (m Mapper) PipelineCtx(ctx context.Context, w *Workload, t *Torus, conc int
 		Leaf:                m.Leaf,
 		Merge:               m.Merge,
 		DisableSiblingReuse: m.DisableSiblingReuse,
+		Parallelism:         m.Parallelism,
 		Observer:            m.Observer,
 	})
 }
