@@ -344,8 +344,8 @@ func BenchmarkSimplexLP(b *testing.B) {
 // phase23-ms. On a multi-core host the parallel variant is expected to be
 // >=2x faster; on a single-CPU host the two variants coincide.
 func BenchmarkParallelPipeline(b *testing.B) {
-	w := Halo3D(8, 8, 8, 10)  // 512 processes
-	t := NewTorus(4, 4, 8)    // 128 nodes, concentration 4
+	w := Halo3D(8, 8, 8, 10) // 512 processes
+	t := NewTorus(4, 4, 8)   // 128 nodes, concentration 4
 	var mu sync.Mutex
 	mcls := map[string]float64{}
 	for _, bc := range []struct {
@@ -377,5 +377,36 @@ func BenchmarkParallelPipeline(b *testing.B) {
 		if par, ok := mcls["parallelism=NumCPU"]; ok && par != seq {
 			b.Fatalf("parallel MCL %v != sequential MCL %v", par, seq)
 		}
+	}
+}
+
+// BenchmarkPipelineTelemetry compares the pipeline with no observer (the
+// always-on counters alone — the ≤2% overhead budget of DESIGN.md §8)
+// against a full telemetry stack (span recorder + progress tracker + tee).
+// Compare phase23-ms between the variants.
+func BenchmarkPipelineTelemetry(b *testing.B) {
+	w := Halo3D(8, 8, 8, 10) // 512 processes
+	t := NewTorus(4, 4, 8)   // 128 nodes, concentration 4
+	for _, bc := range []struct {
+		name string
+		obs  func() Observer
+	}{
+		{"observer=nop", func() Observer { return nil }},
+		{"observer=full", func() Observer {
+			return TeeObservers(NewSpanRecorder(), NewProgressTracker())
+		}},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			var phase23 float64
+			for i := 0; i < b.N; i++ {
+				m := Mapper{Observer: bc.obs()}
+				res, err := m.Pipeline(w, t, 4)
+				if err != nil {
+					b.Fatal(err)
+				}
+				phase23 = float64((res.Stats.MapTime + res.Stats.MergeTime).Milliseconds())
+			}
+			b.ReportMetric(phase23, "phase23-ms")
+		})
 	}
 }

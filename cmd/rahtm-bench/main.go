@@ -42,8 +42,11 @@ func main() {
 		timeout  = flag.Duration("timeout", 0, "time budget for the whole run; on expiry RAHTM degrades to best-so-far mappings")
 		workers  = flag.Int("parallelism", 0, "RAHTM scheduler worker goroutines (0 = all CPUs, 1 = sequential); results are identical for every setting")
 		verbose  = flag.Bool("verbose", false, "trace pipeline phases and solver progress to stderr")
-		jsonOut  = flag.String("json", "", "also write machine-readable results (per-case MCL, wall times, pipeline phase stats) to this file")
+		jsonOut  = flag.String("json", "", "also write machine-readable results (per-case MCL, wall times, pipeline phase stats, counter deltas) to this file")
 		pprofOut = flag.String("pprof", "", "write a CPU profile to this file")
+		metrics  = flag.String("metrics-addr", "", "serve live telemetry (expvar /debug/vars + /metrics progress snapshot) on this address while benchmarking")
+		traceOut = flag.String("trace-out", "", "write the RAHTM scheduler span timeline here (Chrome trace-event JSON; a .jsonl suffix selects JSONL)")
+		report   = flag.Bool("report", false, "print the end-of-run telemetry report to stderr")
 	)
 	flag.Parse()
 
@@ -73,13 +76,38 @@ func main() {
 	if *orient > 0 {
 		rahtmMapper.Merge.MaxOrientations = *orient
 	}
+	// Observer stack: logging, span recording and live progress compose
+	// through a tee on the RAHTM mapper. Spans from every pipeline run of
+	// the session land in one timeline.
+	var observers []rahtm.Observer
+	var recorder *rahtm.SpanRecorder
+	var tracker *rahtm.ProgressTracker
 	if *verbose {
-		rahtmMapper.Observer = rahtm.NewLogObserver(os.Stderr)
+		observers = append(observers, rahtm.NewLogObserver(os.Stderr))
 		eff := *workers
 		if eff == 0 {
 			eff = runtime.NumCPU()
 		}
 		fmt.Fprintf(os.Stderr, "rahtm-bench: scheduler parallelism %d (GOMAXPROCS %d)\n", eff, runtime.GOMAXPROCS(0))
+	}
+	if *traceOut != "" {
+		recorder = rahtm.NewSpanRecorder()
+		observers = append(observers, recorder)
+	}
+	if *metrics != "" {
+		tracker = rahtm.NewProgressTracker()
+		observers = append(observers, tracker)
+	}
+	if len(observers) > 0 {
+		rahtmMapper.Observer = rahtm.TeeObservers(observers...)
+	}
+	if *metrics != "" {
+		srv, err := rahtm.ServeMetrics(*metrics, tracker.Snapshot)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "rahtm-bench: telemetry endpoint at %s/metrics\n", srv.URL())
 	}
 	ms := rahtm.StandardMappers(t)
 	ms[len(ms)-1] = rahtmMapper
@@ -139,6 +167,34 @@ func main() {
 		}
 		must(writeJSON(*jsonOut, t, *procs, *conc, *workers, *fig, cs, pipes))
 	}
+
+	if *traceOut != "" && recorder != nil {
+		must(writeTrace(*traceOut, recorder))
+		fmt.Fprintf(os.Stderr, "rahtm-bench: wrote %d spans to %s\n", recorder.Len(), *traceOut)
+	}
+	if *report {
+		// The session ran many pipelines, so print the counters-only
+		// form; per-workload phase breakdowns are in -fig opt / -json.
+		must(rahtm.WriteTelemetryReport(os.Stderr, nil))
+	}
+}
+
+// writeTrace exports the recorded span timeline: Chrome trace-event JSON
+// by default, JSONL when the path ends in .jsonl.
+func writeTrace(path string, rec *rahtm.SpanRecorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".jsonl") {
+		err = rec.WriteJSONL(f)
+	} else {
+		err = rec.WriteChromeTrace(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // benchJSON is the machine-readable report written by -json: enough to
@@ -154,6 +210,9 @@ type benchJSON struct {
 	} `json:"config"`
 	Cases     []caseJSON     `json:"cases,omitempty"`
 	Pipelines []pipelineJSON `json:"pipelines,omitempty"`
+	// Metrics is the end-of-run snapshot of the process-wide telemetry
+	// counters (cumulative across every pipeline in the session).
+	Metrics map[string]int64 `json:"metrics,omitempty"`
 }
 
 // caseJSON is one (workload, mapper) comparison row.
@@ -186,6 +245,29 @@ type pipelineJSON struct {
 	MCL            float64 `json:"mcl"`
 	Degraded       bool    `json:"degraded"`
 	Err            string  `json:"error,omitempty"`
+
+	// Telemetry counter deltas attributed to this pipeline run.
+	StencilHits    int64 `json:"stencil_hits"`
+	StencilMisses  int64 `json:"stencil_misses"`
+	LPPivots       int64 `json:"lp_pivots"`
+	MILPNodes      int64 `json:"milp_nodes"`
+	AnnealMoves    int64 `json:"anneal_moves"`
+	BeamCandidates int64 `json:"beam_candidates"`
+	BeamPruned     int64 `json:"beam_pruned"`
+	SymmetryEvals  int64 `json:"symmetry_evals"`
+}
+
+// addMetrics fills the counter-delta columns from a per-run snapshot
+// difference (rahtm.Metrics().Sub of the pre-run snapshot).
+func (p *pipelineJSON) addMetrics(d rahtm.MetricsSnapshot) {
+	p.StencilHits = d.Counter("routing.stencil.hits")
+	p.StencilMisses = d.Counter("routing.stencil.misses")
+	p.LPPivots = d.Counter("lp.pivots")
+	p.MILPNodes = d.Counter("milp.nodes")
+	p.AnnealMoves = d.Counter("anneal.moves")
+	p.BeamCandidates = d.Counter("merge.beam.candidates")
+	p.BeamPruned = d.Counter("merge.beam.candidates") - d.Counter("merge.beam.kept")
+	p.SymmetryEvals = d.Counter("merge.symmetry.evals")
 }
 
 func pipelineRow(w *rahtm.Workload, res *rahtm.PipelineResult, err error) pipelineJSON {
@@ -217,8 +299,11 @@ func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond)
 func collectPipelineStats(ctx context.Context, ws []*rahtm.Workload, t *rahtm.Torus, conc int, m rahtm.Mapper) []pipelineJSON {
 	out := make([]pipelineJSON, 0, len(ws))
 	for _, w := range ws {
+		prev := rahtm.Metrics()
 		res, err := m.PipelineCtx(ctx, w, t, conc)
-		out = append(out, pipelineRow(w, res, err))
+		row := pipelineRow(w, res, err)
+		row.addMetrics(rahtm.Metrics().Sub(prev))
+		out = append(out, row)
 	}
 	return out
 }
@@ -248,6 +333,7 @@ func writeJSON(path string, t *rahtm.Torus, procs, conc, workers int, fig string
 		}
 	}
 	rep.Pipelines = pipes
+	rep.Metrics = rahtm.Metrics().Counters
 	b, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
 		return err
@@ -263,8 +349,11 @@ func optimizationTime(ctx context.Context, ws []*rahtm.Workload, t *rahtm.Torus,
 	fmt.Printf("%-10s %12s %12s %12s %12s\n", "benchmark", "cluster", "map", "merge", "total")
 	out := make([]pipelineJSON, 0, len(ws))
 	for _, w := range ws {
+		prev := rahtm.Metrics()
 		res, err := m.PipelineCtx(ctx, w, t, conc)
-		out = append(out, pipelineRow(w, res, err))
+		row := pipelineRow(w, res, err)
+		row.addMetrics(rahtm.Metrics().Sub(prev))
+		out = append(out, row)
 		if err != nil {
 			fmt.Printf("%-10s error: %v\n", w.Name, err)
 			continue

@@ -40,6 +40,9 @@ func main() {
 		workers  = flag.Int("parallelism", 0, "RAHTM scheduler worker goroutines (0 = all CPUs, 1 = sequential); results are identical for every setting")
 		verbose  = flag.Bool("verbose", false, "trace pipeline phases and solver progress to stderr")
 		pprofOut = flag.String("pprof", "", "write a CPU profile of the mapping computation to this file")
+		metrics  = flag.String("metrics-addr", "", "serve live telemetry (expvar /debug/vars + /metrics progress snapshot) on this address while mapping")
+		traceOut = flag.String("trace-out", "", "write the scheduler span timeline here (Chrome trace-event JSON; a .jsonl suffix selects one-span-per-line JSONL)")
+		report   = flag.Bool("report", false, "print the end-of-run telemetry report to stderr")
 	)
 	flag.Parse()
 
@@ -69,12 +72,43 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+
+	// Assemble the observer stack: logging, span recording and live
+	// progress compose through a tee. Only the RAHTM pipeline emits
+	// observer events; for baseline mappers the process-wide counters
+	// (and hence -report and the /metrics endpoint) still work.
+	var observers []rahtm.Observer
+	var recorder *rahtm.SpanRecorder
+	var tracker *rahtm.ProgressTracker
+	if *verbose {
+		observers = append(observers, rahtm.NewLogObserver(os.Stderr))
+	}
+	if *traceOut != "" {
+		recorder = rahtm.NewSpanRecorder()
+		observers = append(observers, recorder)
+	}
+	if *metrics != "" {
+		tracker = rahtm.NewProgressTracker()
+		observers = append(observers, tracker)
+	}
+
 	if rm, ok := m.(rahtm.Mapper); ok {
 		rm.Parallelism = *workers
-		if *verbose {
-			rm.Observer = rahtm.NewLogObserver(os.Stderr)
+		if len(observers) > 0 {
+			rm.Observer = rahtm.TeeObservers(observers...)
 		}
 		m = rm
+	} else if *traceOut != "" {
+		fmt.Fprintf(os.Stderr, "rahtm-map: note: -trace-out records the RAHTM scheduler; mapper %q emits no spans\n", m.Name())
+	}
+
+	if *metrics != "" {
+		srv, err := rahtm.ServeMetrics(*metrics, tracker.Snapshot)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "rahtm-map: telemetry endpoint at %s/metrics\n", srv.URL())
 	}
 
 	if *pprofOut != "" {
@@ -91,6 +125,7 @@ func main() {
 
 	start := time.Now()
 	var mapping rahtm.Mapping
+	var stats *rahtm.PhaseStats
 	if rm, ok := m.(rahtm.Mapper); ok {
 		res, err := rm.PipelineCtx(ctx, w, topo, *conc)
 		if err != nil {
@@ -108,6 +143,7 @@ func main() {
 				res.Stats.MergeWorkTime.Round(time.Millisecond))
 		}
 		mapping = res.ProcToNode
+		stats = &res.Stats
 	} else {
 		mapping, err = m.MapProcs(w, topo, *conc)
 		if err != nil {
@@ -143,6 +179,37 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mapped %d processes with %s in %v\n%s\n",
 			w.Procs(), m.Name(), elapsed.Round(time.Millisecond), rep)
 	}
+
+	if *traceOut != "" && recorder != nil {
+		if err := writeTrace(*traceOut, recorder); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "rahtm-map: wrote %d spans to %s\n", recorder.Len(), *traceOut)
+	}
+	if *report {
+		if err := rahtm.WriteTelemetryReport(os.Stderr, stats); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// writeTrace exports the recorded span timeline: Chrome trace-event JSON
+// (open in Perfetto / chrome://tracing) by default, JSONL when the path
+// ends in .jsonl.
+func writeTrace(path string, rec *rahtm.SpanRecorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".jsonl") {
+		err = rec.WriteJSONL(f)
+	} else {
+		err = rec.WriteChromeTrace(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func buildWorkload(name, graphIn, gridSpec string, procs int) (*rahtm.Workload, error) {

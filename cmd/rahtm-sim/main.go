@@ -30,6 +30,7 @@ func main() {
 		mapFile  = flag.String("map", "", "map file (one node per line)")
 		mapper   = flag.String("mapper", "", "compute the mapping with this mapper instead")
 		linkBW   = flag.Float64("linkbw", 2e9, "link bandwidth, bytes/s")
+		report   = flag.Bool("report", false, "print the telemetry counter report (stencil cache, solver effort) to stderr")
 	)
 	flag.Parse()
 
@@ -79,6 +80,15 @@ func main() {
 	}
 	fmt.Printf("comm time : %.6gs/iteration (link %.6gs, injection %.6gs, ejection %.6gs)\n",
 		comm.Time, comm.LinkTime, comm.InjectionTime, comm.EjectionTime)
+
+	if *report {
+		// Counters-only form: the evaluation routes traffic through the
+		// same stencil cache as the mapper, so the cache and solver
+		// counters reflect this run (plus any -mapper pipeline work).
+		if err := rahtm.WriteTelemetryReport(os.Stderr, nil); err != nil {
+			fatal(err)
+		}
+	}
 }
 
 func buildWorkload(name, gridSpec string, procs int) (*rahtm.Workload, error) {

@@ -22,6 +22,7 @@ func main() {
 		out     = flag.String("out", "", "write the expanded communication graph here")
 		profOut = flag.String("profile", "", "write a profile here (for -graph input)")
 		stats   = flag.Bool("stats", true, "print traffic statistics")
+		report  = flag.Bool("report", false, "print the telemetry counter report (profile expansion volume) to stderr")
 	)
 	flag.Parse()
 
@@ -80,6 +81,12 @@ func main() {
 			fatal(err)
 		}
 		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *report {
+		if err := rahtm.WriteTelemetryReport(os.Stderr, nil); err != nil {
 			fatal(err)
 		}
 	}

@@ -23,7 +23,17 @@ import (
 	"rahtm/internal/merge"
 	"rahtm/internal/obs"
 	"rahtm/internal/routing"
+	"rahtm/internal/telemetry"
 	"rahtm/internal/topology"
+)
+
+// Scheduler reuse counters on the process-wide registry, flushed once per
+// level (never from per-sibling hot paths).
+var (
+	ctrSubproblems    = telemetry.Default.Counter(telemetry.CtrSubproblems)
+	ctrSubproblemHits = telemetry.Default.Counter(telemetry.CtrSubproblemHits)
+	ctrMerges         = telemetry.Default.Counter(telemetry.CtrMerges)
+	ctrMergeHits      = telemetry.Default.Counter(telemetry.CtrMergeHits)
 )
 
 // Config controls the pipeline. The zero value is usable for power-of-two
@@ -87,6 +97,26 @@ type PhaseStats struct {
 	// least one subproblem or merge returned a best-so-far result instead of
 	// completing its full search. The mapping is still valid.
 	Degraded bool
+}
+
+// MapParallelism returns Phase 2's effective parallelism — the average
+// number of busy workers, MapWorkTime/MapTime. It is bounded by
+// Parallelism (up to timing jitter) and equals ~1 for sequential runs.
+// Zero when the phase recorded no wall time.
+func (s PhaseStats) MapParallelism() float64 {
+	if s.MapTime <= 0 {
+		return 0
+	}
+	return float64(s.MapWorkTime) / float64(s.MapTime)
+}
+
+// MergeParallelism returns Phase 3's effective parallelism,
+// MergeWorkTime/MergeTime; see MapParallelism.
+func (s PhaseStats) MergeParallelism() float64 {
+	if s.MergeTime <= 0 {
+		return 0
+	}
+	return float64(s.MergeWorkTime) / float64(s.MergeTime)
 }
 
 // Result is the pipeline output.
@@ -202,24 +232,29 @@ func MapProcessesCtx(ctx context.Context, proc *graph.Comm, t *topology.Torus, c
 	var mapWork atomic.Int64 // cumulative solver nanoseconds across workers
 	mapJobs := 0
 	for d := 0; d < L; d++ {
+		prepStart := time.Now()
 		count := entityCount(h, d+1)
 		pins[d] = make([]int, count)
 		shape := h.CubeShape(d)
 		parents := members[d]
 		locals := make([]*graph.Comm, len(parents))
+		keys := make([]uint64, len(parents))
 		for parent, kids := range parents {
 			locals[parent], _ = graphs[d+1].InducedSubgraph(kids)
+			keys[parent] = locals[parent].StructuralHash() ^ uint64(d)<<56
 		}
 		rep, groupOf := siblingGroups(len(parents), cfg.DisableSiblingReuse, func(i int) uint64 {
-			return locals[i].StructuralHash() ^ uint64(d)<<56
+			return keys[i]
 		})
+		obs.EmitSpan(o, "prepare", obs.PhaseMap, -1, d, 0, prepStart, time.Since(prepStart))
+		obs.EmitJobsPlanned(o, obs.PhaseMap, len(rep))
 		type solveResult struct {
 			res *hiermap.Result
 			err error
 		}
 		solved := make([]solveResult, len(rep))
 		mapJobs += len(rep)
-		if err := forEach(ctx, workers, len(rep), func(gi int) {
+		if err := forEach(ctx, workers, len(rep), func(worker, gi int) {
 			lc := cfg.Leaf
 			lc.Torus = d == 0 && anyWrap(t)
 			if lc.Observer == nil {
@@ -227,7 +262,9 @@ func MapProcessesCtx(ctx context.Context, proc *graph.Comm, t *topology.Torus, c
 			}
 			t0 := time.Now()
 			r, err := hiermap.MapCtx(ctx, locals[rep[gi]], shape, lc)
-			mapWork.Add(int64(time.Since(t0)))
+			elapsed := time.Since(t0)
+			mapWork.Add(int64(elapsed))
+			obs.EmitSpan(o, "solve", obs.PhaseMap, worker, d, keys[rep[gi]], t0, elapsed)
 			solved[gi] = solveResult{res: r, err: err}
 		}); err != nil {
 			return nil, err
@@ -239,6 +276,8 @@ func MapProcessesCtx(ctx context.Context, proc *graph.Comm, t *topology.Torus, c
 		}
 		// Commit in sibling index order: representatives count as solves,
 		// the rest as cache hits, exactly like the sequential pipeline.
+		fanStart := time.Now()
+		levelHits := 0
 		for parent, kids := range parents {
 			gi := groupOf[parent]
 			r := solved[gi].res
@@ -246,6 +285,7 @@ func MapProcessesCtx(ctx context.Context, proc *graph.Comm, t *topology.Torus, c
 			cached := parent != rep[gi]
 			if cached {
 				res.Stats.SubproblemsHit++
+				levelHits++
 			} else {
 				res.Stats.LeafMethod = r.Method
 				if r.Degraded {
@@ -257,6 +297,9 @@ func MapProcessesCtx(ctx context.Context, proc *graph.Comm, t *topology.Torus, c
 				pins[d][kid] = r.Mapping[j]
 			}
 		}
+		obs.EmitSpan(o, "fanout", obs.PhaseMap, -1, d, 0, fanStart, time.Since(fanStart))
+		ctrSubproblems.Add(int64(len(parents)))
+		ctrSubproblemHits.Add(int64(levelHits))
 	}
 	res.Stats.MapTime = time.Since(start)
 	res.Stats.MapWorkTime = time.Duration(mapWork.Load())
@@ -267,6 +310,7 @@ func MapProcessesCtx(ctx context.Context, proc *graph.Comm, t *topology.Torus, c
 	o.PhaseStart(obs.PhaseMerge)
 	start = time.Now()
 	// Leaf blocks (depth L-1) come straight from Phase 2.
+	leavesStart := time.Now()
 	blocks := make([]*merge.Block, len(members[L-1]))
 	leafShape := h.CubeShape(L - 1)
 	for i, kids := range members[L-1] {
@@ -278,6 +322,7 @@ func MapProcessesCtx(ctx context.Context, proc *graph.Comm, t *topology.Torus, c
 		mcl := hiermap.Evaluate(sub, leafShape, false, local)
 		blocks[i] = merge.NewLeafBlock(kids, leafShape, local, mcl)
 	}
+	obs.EmitSpan(o, "leaves", obs.PhaseMerge, -1, L-1, 0, leavesStart, time.Since(leavesStart))
 	// Sibling merges within a level are independent (§III-D): dedupe them
 	// by mergeKey, merge one representative per group concurrently, and
 	// translate the rest. The worker budget not consumed by concurrent
@@ -286,10 +331,12 @@ func MapProcessesCtx(ctx context.Context, proc *graph.Comm, t *topology.Torus, c
 	var mergeWork atomic.Int64
 	mergeJobs := 0
 	for d := L - 2; d >= 0; d-- {
+		prepStart := time.Now()
 		parents := members[d]
 		next := make([]*merge.Block, len(parents))
 		childSets := make([][]*merge.Block, len(parents))
 		posSets := make([][]int, len(parents))
+		keys := make([]uint64, len(parents))
 		for i, kids := range parents {
 			children := make([]*merge.Block, len(kids))
 			childPos := make([]int, len(kids))
@@ -299,10 +346,13 @@ func MapProcessesCtx(ctx context.Context, proc *graph.Comm, t *topology.Torus, c
 			}
 			childSets[i] = children
 			posSets[i] = childPos
+			keys[i] = mergeKey(nodeGraph, childSets[i], posSets[i], d)
 		}
 		rep, groupOf := siblingGroups(len(parents), cfg.DisableSiblingReuse, func(i int) uint64 {
-			return mergeKey(nodeGraph, childSets[i], posSets[i], d)
+			return keys[i]
 		})
+		obs.EmitSpan(o, "prepare", obs.PhaseMerge, -1, d, 0, prepStart, time.Since(prepStart))
+		obs.EmitJobsPlanned(o, obs.PhaseMerge, len(rep))
 		mc := cfg.Merge
 		mc.Level = d
 		if mc.Observer == nil {
@@ -323,11 +373,13 @@ func MapProcessesCtx(ctx context.Context, proc *graph.Comm, t *topology.Torus, c
 		}
 		merged := make([]mergeResult, len(rep))
 		mergeJobs += len(rep)
-		if err := forEach(ctx, workers, len(rep), func(gi int) {
+		if err := forEach(ctx, workers, len(rep), func(worker, gi int) {
 			i := rep[gi]
 			t0 := time.Now()
 			m, err := merge.MergeCtx(ctx, nodeGraph, childSets[i], h.CubeShape(d), posSets[i], mc)
-			mergeWork.Add(int64(time.Since(t0)))
+			elapsed := time.Since(t0)
+			mergeWork.Add(int64(elapsed))
+			obs.EmitSpan(o, "merge", obs.PhaseMerge, worker, d, keys[i], t0, elapsed)
 			merged[gi] = mergeResult{block: m, err: err}
 		}); err != nil {
 			return nil, err
@@ -337,6 +389,8 @@ func MapProcessesCtx(ctx context.Context, proc *graph.Comm, t *topology.Torus, c
 				return nil, fmt.Errorf("core: phase 3 level %d: %w", d, m.err)
 			}
 		}
+		fanStart := time.Now()
+		levelHits := 0
 		for i := range parents {
 			gi := groupOf[i]
 			res.Stats.Merges++
@@ -348,8 +402,12 @@ func MapProcessesCtx(ctx context.Context, proc *graph.Comm, t *topology.Torus, c
 			} else {
 				next[i] = translateBlock(merged[gi].block, childSets[i])
 				res.Stats.MergesHit++
+				levelHits++
 			}
 		}
+		obs.EmitSpan(o, "fanout", obs.PhaseMerge, -1, d, 0, fanStart, time.Since(fanStart))
+		ctrMerges.Add(int64(len(parents)))
+		ctrMergeHits.Add(int64(levelHits))
 		blocks = next
 	}
 	res.Stats.MergeTime = time.Since(start)

@@ -65,13 +65,15 @@ func siblingGroups(n int, disableReuse bool, keyOf func(i int) uint64) (rep []in
 	return rep, groupOf
 }
 
-// forEach runs fn(i) for every i in [0, n) on at most `workers` goroutines,
-// pulling indices from a shared counter. Hard cancellation stops dispatch
-// of further indices and returns ctx's error; indices already running
-// complete (their solvers poll the same context and bail quickly). With
-// workers <= 1 it degenerates to a plain loop with a cancellation check per
-// index — the fully sequential mode.
-func forEach(ctx context.Context, workers, n int, fn func(i int)) error {
+// forEach runs fn(worker, i) for every i in [0, n) on at most `workers`
+// goroutines, pulling indices from a shared counter. worker is the index of
+// the goroutine running the call — stable per goroutine, so span recorders
+// can lay jobs out on per-worker timelines. Hard cancellation stops
+// dispatch of further indices and returns ctx's error; indices already
+// running complete (their solvers poll the same context and bail quickly).
+// With workers <= 1 it degenerates to a plain loop (worker 0) with a
+// cancellation check per index — the fully sequential mode.
+func forEach(ctx context.Context, workers, n int, fn func(worker, i int)) error {
 	if workers > n {
 		workers = n
 	}
@@ -80,7 +82,7 @@ func forEach(ctx context.Context, workers, n int, fn func(i int)) error {
 			if err := hardCancel(ctx); err != nil {
 				return err
 			}
-			fn(i)
+			fn(0, i)
 		}
 		return nil
 	}
@@ -88,16 +90,16 @@ func forEach(ctx context.Context, workers, n int, fn func(i int)) error {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n || hardCancel(ctx) != nil {
 					return
 				}
-				fn(i)
+				fn(w, i)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	return hardCancel(ctx)

@@ -31,7 +31,16 @@ import (
 	"rahtm/internal/graph"
 	"rahtm/internal/obs"
 	"rahtm/internal/routing"
+	"rahtm/internal/telemetry"
 	"rahtm/internal/topology"
+)
+
+// Annealing acceptance counters on the process-wide registry. The hot loop
+// accumulates plain locals and flushes once per solve.
+var (
+	ctrAnnealMoves    = telemetry.Default.Counter(telemetry.CtrAnnealMoves)
+	ctrAnnealAccepted = telemetry.Default.Counter(telemetry.CtrAnnealAccepted)
+	ctrAnnealRestarts = telemetry.Default.Counter(telemetry.CtrAnnealRestarts)
 )
 
 // Method selects the subproblem solver.
@@ -263,8 +272,15 @@ func solveAnneal(ctx context.Context, g *graph.Comm, cube *topology.Torus, cfg C
 	var best topology.Mapping
 	bestMCL := math.Inf(1)
 	degraded := false
+	var moves, accepted, restartsRun int64
+	defer func() {
+		ctrAnnealMoves.Add(moves)
+		ctrAnnealAccepted.Add(accepted)
+		ctrAnnealRestarts.Add(restartsRun)
+	}()
 restartLoop:
 	for r := 0; r < restarts; r++ {
+		restartsRun++
 		ev := newIncEval(g, cube, topology.Mapping(rng.Perm(n)))
 		curMCL := ev.mcl()
 		if curMCL < bestMCL {
@@ -293,7 +309,9 @@ restartLoop:
 				continue
 			}
 			mcl := ev.swap(i, j)
+			moves++
 			if mcl <= curMCL || rng.Float64() < math.Exp((curMCL-mcl)/temp) {
+				accepted++
 				curMCL = mcl
 				if mcl < bestMCL {
 					bestMCL = mcl

@@ -2,6 +2,15 @@ package lp
 
 import (
 	"math"
+
+	"rahtm/internal/telemetry"
+)
+
+// Solver-effort counters on the process-wide registry, flushed once per
+// solve (never per pivot).
+var (
+	ctrLPSolves = telemetry.Default.Counter(telemetry.CtrLPSolves)
+	ctrLPPivots = telemetry.Default.Counter(telemetry.CtrLPPivots)
 )
 
 // solveSimplex runs the dense two-phase primal simplex method on p.
@@ -83,6 +92,10 @@ func solveSimplex(p *Problem, opt Options, cancel <-chan struct{}) (*Solution, e
 	}
 
 	sol := &Solution{X: make([]float64, n)}
+	defer func() {
+		ctrLPSolves.Inc()
+		ctrLPPivots.Add(int64(sol.Iters))
+	}()
 
 	// Phase 1: minimize the sum of artificial variables.
 	obj1 := make([]float64, cols+1)

@@ -23,7 +23,16 @@ import (
 	"rahtm/internal/graph"
 	"rahtm/internal/obs"
 	"rahtm/internal/routing"
+	"rahtm/internal/telemetry"
 	"rahtm/internal/topology"
+)
+
+// Beam-search counters on the process-wide registry. The scoring loops
+// accumulate plain locals and flush once per merge step / ordering pass.
+var (
+	ctrBeamCandidates = telemetry.Default.Counter(telemetry.CtrBeamCandidates)
+	ctrBeamKept       = telemetry.Default.Counter(telemetry.CtrBeamKept)
+	ctrSymmetryEvals  = telemetry.Default.Counter(telemetry.CtrSymmetryEvals)
 )
 
 // Orientation is a signed dimension permutation of a box: output coordinate
@@ -531,6 +540,8 @@ func (m *merger) mergeOrder() []int {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
+			var evals int64
+			defer func() { ctrSymmetryEvals.Add(evals) }()
 			buf := make([]float64, m.parent.NumChannels())
 			for pi := lo; pi < hi; pi++ {
 				select {
@@ -538,6 +549,7 @@ func (m *merger) mergeOrder() []int {
 					return // ordering becomes partial; run() handles the context
 				default:
 				}
+				evals += int64(ko * ko)
 				i, j := pairs[pi].i, pairs[pi].j
 				ci := m.children[i].Candidates[0]
 				cj := m.children[j].Candidates[0]
@@ -641,6 +653,11 @@ func (m *merger) run() (*Block, error) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	degraded := false
+	var candGen, candKept int64
+	defer func() {
+		ctrBeamCandidates.Add(candGen)
+		ctrBeamKept.Add(candKept)
+	}()
 
 	// Seed the beam with the first child. With the deadline already gone,
 	// seed only the pinned identity variant; the loop below completes the
@@ -654,7 +671,9 @@ func (m *merger) run() (*Block, error) {
 		for _, v := range m.variantsOf(first, 0) {
 			beam = append(beam, m.seedState(first, v))
 		}
+		candGen += int64(len(beam))
 		beam = topN(beam, m.cfg.BeamWidth)
+		candKept += int64(len(beam))
 	}
 	m.obs.BeamRound(m.cfg.Level, 0, len(beam), beam[0].mcl)
 
@@ -718,10 +737,12 @@ func (m *merger) run() (*Block, error) {
 			degraded = true
 			break
 		}
+		candGen += int64(len(combos))
 		sort.SliceStable(combos, func(a, b int) bool { return combos[a].mcl < combos[b].mcl })
 		if len(combos) > m.cfg.BeamWidth {
 			combos = combos[:m.cfg.BeamWidth]
 		}
+		candKept += int64(len(combos))
 		// Pass 2: materialize the winners.
 		next := make([]*state, 0, len(combos))
 		for _, sc := range combos {

@@ -23,6 +23,14 @@ import (
 	"time"
 
 	"rahtm/internal/lp"
+	"rahtm/internal/telemetry"
+)
+
+// Branch-and-bound effort counters on the process-wide registry, flushed
+// once per solve (never per node).
+var (
+	ctrMILPSolves = telemetry.Default.Counter(telemetry.CtrMILPSolves)
+	ctrMILPNodes  = telemetry.Default.Counter(telemetry.CtrMILPNodes)
 )
 
 // Status reports the outcome of a MILP solve.
@@ -176,6 +184,10 @@ func (p *Problem) SolveCtx(ctx context.Context, opt Options) *Result {
 	}
 
 	res := &Result{Status: Unknown, Bound: math.Inf(-1)}
+	defer func() {
+		ctrMILPSolves.Inc()
+		ctrMILPNodes.Add(int64(res.Nodes))
+	}()
 	incObj := math.Inf(1)
 	if opt.Incumbent != nil && p.integral(opt.Incumbent, tol) && p.LP.Feasible(opt.Incumbent, 1e-6) {
 		res.X = append([]float64(nil), opt.Incumbent...)

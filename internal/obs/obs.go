@@ -84,6 +84,13 @@ func (Nop) LPIterations(int) {}
 // surface.
 func (Nop) WorkerPool(string, int, int, time.Duration) {}
 
+// Span implements SpanObserver, so embedders inherit the full surface.
+func (Nop) Span(string, string, int, int, uint64, time.Time, time.Duration) {}
+
+// JobsPlanned implements ProgressObserver, so embedders inherit the full
+// surface.
+func (Nop) JobsPlanned(string, int) {}
+
 // WorkerObserver is an optional Observer extension: observers that also
 // implement it receive worker-pool utilization reports from the level-wise
 // scheduler. Like every Observer callback it must be safe for concurrent
@@ -106,6 +113,50 @@ func EmitWorkerPool(o Observer, phase string, workers, jobs int, busy time.Durat
 	}
 }
 
+// SpanObserver is an optional Observer extension: observers that also
+// implement it receive one timed span per unit of scheduler work — every
+// representative subproblem solve, merge job, level preparation, and
+// sibling fan-out of the level-wise pipeline.
+//
+// Unlike the core Observer events, which the scheduler commits in
+// deterministic sibling index order, spans fire from worker goroutines the
+// moment each job finishes: their order reflects real execution timing and
+// varies run to run. Implementations must be safe for concurrent use.
+type SpanObserver interface {
+	// Span reports one completed unit of work. name identifies the kind
+	// ("solve", "merge", "prepare", "leaves", "fanout"); phase is the
+	// enclosing pipeline phase; worker is the scheduler worker index that
+	// ran the job (-1 for the coordinating goroutine); level is the
+	// hierarchy depth; hash is the structural fingerprint of the
+	// subproblem (0 when not applicable).
+	Span(name, phase string, worker, level int, hash uint64, start time.Time, elapsed time.Duration)
+}
+
+// EmitSpan forwards a span to o when it implements SpanObserver, and is a
+// no-op otherwise.
+func EmitSpan(o Observer, name, phase string, worker, level int, hash uint64, start time.Time, elapsed time.Duration) {
+	if so, ok := o.(SpanObserver); ok {
+		so.Span(name, phase, worker, level, hash, start, elapsed)
+	}
+}
+
+// ProgressObserver is an optional Observer extension: observers that also
+// implement it learn how many scheduler jobs a phase is about to dispatch,
+// which lets live progress views report done/total counts.
+type ProgressObserver interface {
+	// JobsPlanned reports that the scheduler is about to dispatch n more
+	// jobs (representative solves or merges) in the given phase.
+	JobsPlanned(phase string, n int)
+}
+
+// EmitJobsPlanned forwards a job count to o when it implements
+// ProgressObserver, and is a no-op otherwise.
+func EmitJobsPlanned(o Observer, phase string, n int) {
+	if po, ok := o.(ProgressObserver); ok {
+		po.JobsPlanned(phase, n)
+	}
+}
+
 // OrNop returns o, or Nop when o is nil, so call sites never need a nil
 // check.
 func OrNop(o Observer) Observer {
@@ -115,16 +166,123 @@ func OrNop(o Observer) Observer {
 	return o
 }
 
-// Log is an Observer that writes one line per event to W, prefixed with
-// "rahtm:". It is safe for concurrent use. The zero value discards events;
-// use NewLog.
-type Log struct {
-	mu sync.Mutex
-	w  io.Writer
+// Tee returns an Observer that fans every event out to all non-nil members,
+// in argument order. The tee also implements the WorkerObserver,
+// SpanObserver, and ProgressObserver extensions, forwarding each extension
+// event only to the members that implement it (so a Log and a span recorder
+// compose without either seeing events it does not handle). With zero
+// non-nil members it returns Nop; with one, that member unchanged.
+//
+// The tee adds no synchronization of its own: it is safe for concurrent use
+// exactly when every member is, which the Observer contract already
+// requires.
+func Tee(members ...Observer) Observer {
+	kept := make([]Observer, 0, len(members))
+	for _, o := range members {
+		if o != nil {
+			kept = append(kept, o)
+		}
+	}
+	switch len(kept) {
+	case 0:
+		return Nop{}
+	case 1:
+		return kept[0]
+	}
+	return tee(kept)
 }
 
-// NewLog returns a Log writing to w.
-func NewLog(w io.Writer) *Log { return &Log{w: w} }
+type tee []Observer
+
+// PhaseStart implements Observer.
+func (t tee) PhaseStart(phase string) {
+	for _, o := range t {
+		o.PhaseStart(phase)
+	}
+}
+
+// PhaseEnd implements Observer.
+func (t tee) PhaseEnd(phase string, elapsed time.Duration) {
+	for _, o := range t {
+		o.PhaseEnd(phase, elapsed)
+	}
+}
+
+// SubproblemSolved implements Observer.
+func (t tee) SubproblemSolved(level int, method string, mcl float64, cached bool) {
+	for _, o := range t {
+		o.SubproblemSolved(level, method, mcl, cached)
+	}
+}
+
+// AnnealSample implements Observer.
+func (t tee) AnnealSample(restart, iter int, temp, energy, best float64) {
+	for _, o := range t {
+		o.AnnealSample(restart, iter, temp, energy, best)
+	}
+}
+
+// BeamRound implements Observer.
+func (t tee) BeamRound(level, step, candidates int, bestMCL float64) {
+	for _, o := range t {
+		o.BeamRound(level, step, candidates, bestMCL)
+	}
+}
+
+// LPIterations implements Observer.
+func (t tee) LPIterations(iters int) {
+	for _, o := range t {
+		o.LPIterations(iters)
+	}
+}
+
+// WorkerPool implements WorkerObserver, forwarding to members that do.
+func (t tee) WorkerPool(phase string, workers, jobs int, busy time.Duration) {
+	for _, o := range t {
+		EmitWorkerPool(o, phase, workers, jobs, busy)
+	}
+}
+
+// Span implements SpanObserver, forwarding to members that do.
+func (t tee) Span(name, phase string, worker, level int, hash uint64, start time.Time, elapsed time.Duration) {
+	for _, o := range t {
+		EmitSpan(o, name, phase, worker, level, hash, start, elapsed)
+	}
+}
+
+// JobsPlanned implements ProgressObserver, forwarding to members that do.
+func (t tee) JobsPlanned(phase string, n int) {
+	for _, o := range t {
+		EmitJobsPlanned(o, phase, n)
+	}
+}
+
+// DefaultLogPrefix is the line prefix of Log observers built by NewLog.
+const DefaultLogPrefix = "rahtm: "
+
+// Log is an Observer that writes one line per event to an io.Writer,
+// serialized by an internal mutex. It is safe for concurrent use.
+//
+// The zero value (and a nil *Log) is a valid observer that silently
+// discards every event — a Log carries its writer only through NewLog /
+// NewLogPrefix, so a zero Log has nowhere to write. Construct with NewLog;
+// do not copy a Log after first use (it contains a mutex).
+type Log struct {
+	mu     sync.Mutex
+	w      io.Writer
+	prefix string
+}
+
+// NewLog returns a Log writing to w with the default "rahtm: " line prefix.
+// A nil w yields an observer that discards every event.
+func NewLog(w io.Writer) *Log { return &Log{w: w, prefix: DefaultLogPrefix} }
+
+// NewLogPrefix returns a Log writing to w with a custom line prefix, so
+// multi-run drivers can label each run's trace ("run3: ", for example). An
+// empty prefix emits bare lines.
+func NewLogPrefix(w io.Writer, prefix string) *Log {
+	return &Log{w: w, prefix: prefix}
+}
 
 func (l *Log) printf(format string, args ...interface{}) {
 	if l == nil || l.w == nil {
@@ -132,7 +290,7 @@ func (l *Log) printf(format string, args ...interface{}) {
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	fmt.Fprintf(l.w, "rahtm: "+format+"\n", args...)
+	fmt.Fprintf(l.w, l.prefix+format+"\n", args...)
 }
 
 // PhaseStart implements Observer.

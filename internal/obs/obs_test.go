@@ -55,6 +55,186 @@ func TestLogWritesEvents(t *testing.T) {
 	}
 }
 
+// TestLogZeroValueDiscards pins the documented zero-value contract: a zero
+// Log, a nil *Log, and NewLog(nil) all silently discard events instead of
+// panicking.
+func TestLogZeroValueDiscards(t *testing.T) {
+	var zero Log
+	zero.PhaseStart(PhaseMap)
+	zero.LPIterations(7)
+	var nilLog *Log
+	nilLog.PhaseEnd(PhaseMap, time.Second)
+	nilLog.BeamRound(0, 0, 1, 1)
+	l := NewLog(nil)
+	l.PhaseStart(PhaseCluster)
+	l.SubproblemSolved(0, "anneal", 1, false)
+	l.WorkerPool(PhaseMap, 2, 3, time.Second)
+}
+
+func TestLogCustomPrefix(t *testing.T) {
+	var sb strings.Builder
+	l := NewLogPrefix(&sb, "run7> ")
+	l.PhaseStart(PhaseMap)
+	l.LPIterations(3)
+	for _, line := range strings.Split(strings.TrimSpace(sb.String()), "\n") {
+		if !strings.HasPrefix(line, "run7> ") {
+			t.Fatalf("line %q missing custom prefix", line)
+		}
+	}
+	sb.Reset()
+	NewLogPrefix(&sb, "").PhaseStart(PhaseMap)
+	if got := sb.String(); got != "phase map start\n" {
+		t.Fatalf("empty prefix: got %q", got)
+	}
+}
+
+// countingObserver records event counts; it implements only the core
+// Observer interface (no extensions), so it doubles as the no-op-path probe
+// for EmitWorkerPool / EmitSpan / EmitJobsPlanned.
+type countingObserver struct {
+	mu     sync.Mutex
+	counts map[string]int
+}
+
+func newCountingObserver() *countingObserver {
+	return &countingObserver{counts: map[string]int{}}
+}
+
+func (c *countingObserver) bump(k string) {
+	c.mu.Lock()
+	c.counts[k]++
+	c.mu.Unlock()
+}
+
+func (c *countingObserver) count(k string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counts[k]
+}
+
+func (c *countingObserver) PhaseStart(string)                           { c.bump("start") }
+func (c *countingObserver) PhaseEnd(string, time.Duration)              { c.bump("end") }
+func (c *countingObserver) SubproblemSolved(int, string, float64, bool) { c.bump("sub") }
+func (c *countingObserver) AnnealSample(int, int, float64, float64, float64) {
+	c.bump("anneal")
+}
+func (c *countingObserver) BeamRound(int, int, int, float64) { c.bump("beam") }
+func (c *countingObserver) LPIterations(int)                 { c.bump("lp") }
+
+// extObserver additionally implements every optional extension.
+type extObserver struct {
+	countingObserver
+}
+
+func (e *extObserver) WorkerPool(string, int, int, time.Duration) { e.bump("pool") }
+func (e *extObserver) Span(string, string, int, int, uint64, time.Time, time.Duration) {
+	e.bump("span")
+}
+func (e *extObserver) JobsPlanned(string, int) { e.bump("planned") }
+
+func TestTeeFanOut(t *testing.T) {
+	a := newCountingObserver()
+	b := &extObserver{countingObserver{counts: map[string]int{}}}
+	o := Tee(nil, a, nil, b)
+	o.PhaseStart(PhaseMap)
+	o.PhaseEnd(PhaseMap, time.Second)
+	o.SubproblemSolved(0, "milp", 1, false)
+	o.AnnealSample(0, 0, 1, 1, 1)
+	o.BeamRound(0, 0, 1, 1)
+	o.LPIterations(5)
+	EmitWorkerPool(o, PhaseMap, 4, 8, time.Second)
+	EmitSpan(o, "solve", PhaseMap, 0, 1, 42, time.Now(), time.Millisecond)
+	EmitJobsPlanned(o, PhaseMap, 8)
+	for _, k := range []string{"start", "end", "sub", "anneal", "beam", "lp"} {
+		if a.count(k) != 1 || b.count(k) != 1 {
+			t.Fatalf("event %q: a=%d b=%d, want 1/1", k, a.count(k), b.count(k))
+		}
+	}
+	// Extension events reach only the member that implements them; the
+	// plain member must not see them (and must not panic).
+	for _, k := range []string{"pool", "span", "planned"} {
+		if a.count(k) != 0 {
+			t.Fatalf("plain observer saw extension event %q", k)
+		}
+		if b.count(k) != 1 {
+			t.Fatalf("extension observer missed event %q", k)
+		}
+	}
+}
+
+func TestTeeDegenerateForms(t *testing.T) {
+	if _, ok := Tee().(Nop); !ok {
+		t.Fatal("empty Tee must collapse to Nop")
+	}
+	if _, ok := Tee(nil, nil).(Nop); !ok {
+		t.Fatal("all-nil Tee must collapse to Nop")
+	}
+	l := NewLog(&strings.Builder{})
+	if Tee(nil, l) != Observer(l) {
+		t.Fatal("single-member Tee must return the member unchanged")
+	}
+}
+
+// TestEmitWorkerPoolNoOpPath pins that the Emit helpers are safe no-ops for
+// observers without the extension — including Tee-wrapped ones.
+func TestEmitWorkerPoolNoOpPath(t *testing.T) {
+	plain := newCountingObserver()
+	EmitWorkerPool(plain, PhaseMap, 2, 2, time.Second)
+	EmitSpan(plain, "solve", PhaseMap, 0, 0, 0, time.Now(), 0)
+	EmitJobsPlanned(plain, PhaseMap, 2)
+	if plain.count("pool")+plain.count("span")+plain.count("planned") != 0 {
+		t.Fatal("no-op path must not synthesize events")
+	}
+	other := newCountingObserver()
+	EmitWorkerPool(Tee(plain, other), PhaseMap, 2, 2, time.Second)
+	if plain.count("pool") != 0 || other.count("pool") != 0 {
+		t.Fatal("tee of plain observers must swallow WorkerPool")
+	}
+}
+
+// TestTeeConcurrentEmission hammers a tee from many goroutines; run with
+// -race this verifies the fan-out adds no unsynchronized state.
+func TestTeeConcurrentEmission(t *testing.T) {
+	a := newCountingObserver()
+	b := &extObserver{countingObserver{counts: map[string]int{}}}
+	o := Tee(a, b, NewLog(&safeWriter{}))
+	const goroutines, events = 8, 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < events; i++ {
+				o.SubproblemSolved(g, "anneal", float64(i), i%2 == 0)
+				o.BeamRound(g, i, 64, 1)
+				EmitSpan(o, "solve", PhaseMap, g, 0, uint64(i), time.Now(), time.Microsecond)
+				EmitJobsPlanned(o, PhaseMap, 1)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := a.count("sub"); got != goroutines*events {
+		t.Fatalf("lost events: %d/%d", got, goroutines*events)
+	}
+	if got := b.count("span"); got != goroutines*events {
+		t.Fatalf("lost spans: %d/%d", got, goroutines*events)
+	}
+}
+
+// safeWriter is a mutex-guarded sink (strings.Builder alone is not safe for
+// the concurrent Log writes this test provokes).
+type safeWriter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (w *safeWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	w.n += len(p)
+	w.mu.Unlock()
+	return len(p), nil
+}
+
 func TestLogConcurrentUse(t *testing.T) {
 	l := NewLog(&strings.Builder{})
 	var wg sync.WaitGroup

@@ -111,14 +111,18 @@ func (a MinimalAdaptive) AddLoads(t *topology.Torus, src, dst int, vol float64, 
 
 // routeBox deposits one direction-combination's loads, through the stencil
 // cache when the displacement is cacheable and the cache has room, and
-// through the direct DP otherwise.
+// through the direct DP otherwise. Every box counts as a stencil-cache hit
+// or miss (boxes routed with DisableCache count as misses: the cache did
+// not serve them).
 func (a MinimalAdaptive) routeBox(t *topology.Torus, cs, dirs, dists []int, vol float64, loads []float64, sc *scratch) {
 	if !a.DisableCache {
 		if s := stencilFor(dists); s != nil {
+			sc.hits.Inc()
 			s.apply(t, cs, dirs, vol, loads, sc.coord)
 			return
 		}
 	}
+	sc.misses.Inc()
 	addMinimalBoxLoads(t, cs, dirs, dists, vol, loads, sc)
 }
 

@@ -20,6 +20,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"rahtm/internal/telemetry"
 	"rahtm/internal/topology"
 )
 
@@ -53,6 +54,19 @@ var (
 	stencilCells atomic.Int64
 )
 
+// Cache telemetry. Hits and misses fire once per routed box — the hottest
+// counter in the process — so each pooled scratch carries striped local
+// handles (claimed in the pool's New func; sync.Pool's per-P affinity
+// spreads the stripes across CPUs). Builds and evictions are rare and use
+// the counters directly. "Evictions" counts stencils that were built and
+// then discarded: cell-budget rejections and lost publication races.
+var (
+	ctrStencilHits      = telemetry.Default.Counter(telemetry.CtrStencilHits)
+	ctrStencilMisses    = telemetry.Default.Counter(telemetry.CtrStencilMisses)
+	ctrStencilBuilds    = telemetry.Default.Counter(telemetry.CtrStencilBuilds)
+	ctrStencilEvictions = telemetry.Default.Counter(telemetry.CtrStencilEvictions)
+)
+
 // stencilKey packs a distance vector into a cache key. ok is false when the
 // vector does not fit the key encoding (too many dims or too far).
 func stencilKey(dists []int) (key uint64, ok bool) {
@@ -81,13 +95,16 @@ func stencilFor(dists []int) *stencil {
 		return v.(*stencil)
 	}
 	s := buildStencil(dists)
+	ctrStencilBuilds.Inc()
 	if stencilCells.Add(int64(s.cells)) > maxStencilCells {
 		stencilCells.Add(-int64(s.cells))
+		ctrStencilEvictions.Inc()
 		return nil
 	}
 	if prev, loaded := stencilCache.LoadOrStore(key, s); loaded {
 		// Lost a build race; keep the published copy and return the cells.
 		stencilCells.Add(-int64(s.cells))
+		ctrStencilEvictions.Inc()
 		return prev.(*stencil)
 	}
 	return s
@@ -194,9 +211,18 @@ type scratch struct {
 	cs, cd, dirs, dists, coord, ties []int
 	shape, strides, u                []int
 	p                                []float64
+	// hits/misses are striped cache-counter handles, claimed once per
+	// scratch so the per-flow hot path increments without cross-CPU
+	// contention.
+	hits, misses *telemetry.LocalCounter
 }
 
-var scratchPool = sync.Pool{New: func() interface{} { return new(scratch) }}
+var scratchPool = sync.Pool{New: func() interface{} {
+	return &scratch{
+		hits:   ctrStencilHits.Local(),
+		misses: ctrStencilMisses.Local(),
+	}
+}}
 
 func getScratch(nd int) *scratch {
 	sc := scratchPool.Get().(*scratch)

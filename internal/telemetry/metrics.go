@@ -1,0 +1,333 @@
+// Package telemetry is the observability layer of the RAHTM pipeline: a
+// concurrency-safe metrics registry (counters, gauges, fixed-bucket
+// histograms), a span recorder exporting worker timelines as JSONL and
+// Chrome trace-event files, a live-progress tracker, an expvar HTTP
+// endpoint, and an end-of-run report table.
+//
+// The package sits below every pipeline layer (it depends only on the
+// standard library and internal/obs), so the hot paths — the routing
+// stencil cache, the level-wise scheduler, the LP/MILP solvers, annealing
+// and the beam merger — instrument themselves against the process-wide
+// Default registry. Instrumentation is always on; its budget is <= 2% of
+// pipeline wall time with a Nop observer (see BenchmarkPipelineTelemetry
+// and DESIGN.md §8), achieved by batching hot-loop counts locally and by
+// striping the counters the routing evaluator updates per flow.
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Well-known metric names. Instrumented packages register these against the
+// Default registry; the report table and the bench JSON reader look them up
+// by the same constants.
+const (
+	// routing: displacement-stencil cache of the minimal-adaptive evaluator.
+	CtrStencilHits      = "routing.stencil.hits"
+	CtrStencilMisses    = "routing.stencil.misses"
+	CtrStencilBuilds    = "routing.stencil.builds"
+	CtrStencilEvictions = "routing.stencil.evictions"
+
+	// core: level-wise scheduler sibling-reuse caches.
+	CtrSubproblems    = "core.subproblems"
+	CtrSubproblemHits = "core.subproblems.reused"
+	CtrMerges         = "core.merges"
+	CtrMergeHits      = "core.merges.reused"
+
+	// lp / milp: solver effort.
+	CtrLPSolves   = "lp.solves"
+	CtrLPPivots   = "lp.pivots"
+	CtrMILPSolves = "milp.solves"
+	CtrMILPNodes  = "milp.nodes"
+
+	// hiermap: simulated annealing acceptance.
+	CtrAnnealMoves    = "anneal.moves"
+	CtrAnnealAccepted = "anneal.accepted"
+	CtrAnnealRestarts = "anneal.restarts"
+
+	// merge: Phase 3 beam search.
+	CtrBeamCandidates = "merge.beam.candidates"
+	CtrBeamKept       = "merge.beam.kept"
+	CtrSymmetryEvals  = "merge.symmetry.evals"
+
+	// trace: communication-profile ingestion.
+	CtrTraceP2P   = "trace.p2p.records"
+	CtrTraceColls = "trace.collectives.expanded"
+)
+
+// stripes is the cell count of a striped Counter. Local handles are dealt
+// round-robin, so with up to this many concurrent writers each updates its
+// own cache line.
+const stripes = 8
+
+// cell is one padded counter stripe. The padding keeps neighboring stripes
+// on distinct cache lines so concurrent writers do not false-share.
+type cell struct {
+	n atomic.Int64
+	_ [56]byte
+}
+
+// Counter is a monotonic (or at least sum-semantics) int64 metric, striped
+// across padded cells so concurrent writers do not contend. The zero value
+// is ready to use. Hot loops that increment from worker goroutines should
+// claim a Local handle once and update through it.
+type Counter struct {
+	cells [stripes]cell
+	next  atomic.Uint32
+}
+
+// Add adds delta through the default stripe.
+func (c *Counter) Add(delta int64) { c.cells[0].n.Add(delta) }
+
+// Inc adds one through the default stripe.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the sum across all stripes.
+func (c *Counter) Value() int64 {
+	var sum int64
+	for i := range c.cells {
+		sum += c.cells[i].n.Load()
+	}
+	return sum
+}
+
+// Local claims a stripe (round-robin) and returns a handle that adds to it
+// without contending with other handles. Handles are cheap; claim one per
+// long-lived worker or pooled scratch object, not per operation.
+func (c *Counter) Local() *LocalCounter {
+	i := (c.next.Add(1) - 1) % stripes
+	return &LocalCounter{cell: &c.cells[i]}
+}
+
+// LocalCounter is a striped handle of a Counter; see Counter.Local.
+type LocalCounter struct {
+	cell *cell
+}
+
+// Add adds delta to the handle's stripe.
+func (l *LocalCounter) Add(delta int64) { l.cell.n.Add(delta) }
+
+// Inc adds one to the handle's stripe.
+func (l *LocalCounter) Inc() { l.Add(1) }
+
+// Gauge is a float64 metric that holds the latest set value (worker counts,
+// temperatures, best-so-far objectives). The zero value is ready to use.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds delta to the stored value (compare-and-swap loop).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the stored value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket distribution metric. Bounds are the ascending
+// upper bounds of the first len(bounds) buckets; one final bucket catches
+// everything above the last bound. Observe is safe for concurrent use.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64
+	sum    Gauge
+	n      atomic.Int64
+}
+
+// NewHistogram builds a histogram with the given ascending bucket upper
+// bounds (at least one).
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = []float64{math.Inf(1)}
+	}
+	if !sort.Float64sAreSorted(bounds) {
+		panic("telemetry: histogram bounds must ascend")
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.n.Add(1)
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() int64 { return h.n.Load() }
+
+// Sum returns the sum of all observed samples.
+func (h *Histogram) Sum() float64 { return h.sum.Value() }
+
+// snapshot captures the histogram state.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count:   h.n.Load(),
+		Sum:     h.sum.Value(),
+		Bounds:  append([]float64(nil), h.bounds...),
+		Buckets: make([]int64, len(h.counts)),
+	}
+	for i := range h.counts {
+		s.Buckets[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// HistogramSnapshot is the point-in-time view of one histogram.
+// Buckets[i] counts samples <= Bounds[i]; the final bucket counts the rest.
+type HistogramSnapshot struct {
+	Count   int64     `json:"count"`
+	Sum     float64   `json:"sum"`
+	Bounds  []float64 `json:"bounds"`
+	Buckets []int64   `json:"buckets"`
+}
+
+// Registry is a concurrency-safe, get-or-create collection of named
+// metrics. The zero value is not usable; construct with NewRegistry or use
+// the process-wide Default.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// Default is the process-wide registry every built-in instrumentation point
+// reports to.
+var Default = NewRegistry()
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use. The same name always yields the same *Counter.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given bounds on first use. An existing histogram keeps its original
+// bounds (first registration wins).
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = NewHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot returns a consistent-enough point-in-time view of every metric.
+// Counters that have never been touched report their zero value; names the
+// registry has never seen are absent.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]float64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.snapshot()
+	}
+	return s
+}
+
+// Snapshot is the point-in-time view of a Registry, JSON-encodable as-is.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Counter returns the snapshotted value of a counter, zero when absent.
+func (s Snapshot) Counter(name string) int64 { return s.Counters[name] }
+
+// Sub returns a snapshot whose counters are the difference s - prev
+// (gauges and histograms keep s's values): the per-run delta of cumulative
+// process-wide counters.
+func (s Snapshot) Sub(prev Snapshot) Snapshot {
+	out := Snapshot{
+		Counters:   make(map[string]int64, len(s.Counters)),
+		Gauges:     s.Gauges,
+		Histograms: s.Histograms,
+	}
+	for name, v := range s.Counters {
+		out.Counters[name] = v - prev.Counters[name]
+	}
+	return out
+}
+
+// Rate returns hit/(hit+miss) as a fraction in [0,1], or NaN when the
+// denominator is zero.
+func Rate(hit, miss int64) float64 {
+	if hit+miss == 0 {
+		return math.NaN()
+	}
+	return float64(hit) / float64(hit+miss)
+}

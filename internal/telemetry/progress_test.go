@@ -1,0 +1,68 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"rahtm/internal/obs"
+)
+
+func TestProgressTrackerLifecycle(t *testing.T) {
+	tr := NewProgressTracker()
+	if p := tr.Snapshot(); p.BestLevel != -1 || p.Phase != "" {
+		t.Fatalf("fresh tracker: %+v", p)
+	}
+	tr.PhaseStart(obs.PhaseMap)
+	tr.JobsPlanned(obs.PhaseMap, 6)
+	tr.Span("solve", obs.PhaseMap, 0, 1, 7, time.Now(), time.Millisecond)
+	tr.SubproblemSolved(1, "anneal", 4, false)
+	tr.SubproblemSolved(1, "anneal", 4, true)
+	p := tr.Snapshot()
+	if p.Phase != obs.PhaseMap || p.PhaseDone {
+		t.Fatalf("phase: %+v", p)
+	}
+	if p.MapJobsPlanned != 6 || p.MapJobsDone != 1 || p.Subproblems != 2 {
+		t.Fatalf("map counters: %+v", p)
+	}
+	tr.PhaseEnd(obs.PhaseMap, time.Second)
+	tr.PhaseStart(obs.PhaseMerge)
+	tr.JobsPlanned(obs.PhaseMerge, 3)
+	tr.Span("merge", obs.PhaseMerge, 1, 1, 0, time.Now(), time.Millisecond)
+	tr.BeamRound(1, 0, 8, 12.5)
+	tr.BeamRound(0, 0, 8, 9.25) // shallower level wins
+	tr.BeamRound(1, 1, 8, 1.0)  // deeper level must not override
+	p = tr.Snapshot()
+	if p.MergeJobsPlanned != 3 || p.MergeJobsDone != 1 {
+		t.Fatalf("merge counters: %+v", p)
+	}
+	if p.BestLevel != 0 || p.BestMCL != 9.25 {
+		t.Fatalf("best MCL: %+v", p)
+	}
+	tr.PhaseEnd(obs.PhaseMerge, time.Second)
+	if p = tr.Snapshot(); !p.PhaseDone || p.Phase != obs.PhaseMerge {
+		t.Fatalf("final phase state: %+v", p)
+	}
+}
+
+func TestProgressTrackerConcurrent(t *testing.T) {
+	tr := NewProgressTracker()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.Span("solve", obs.PhaseMap, g, 0, 0, time.Now(), 0)
+				tr.SubproblemSolved(0, "anneal", 1, false)
+				tr.BeamRound(g%3, i, 8, float64(i+1))
+				tr.JobsPlanned(obs.PhaseMerge, 1)
+			}
+		}(g)
+	}
+	wg.Wait()
+	p := tr.Snapshot()
+	if p.MapJobsDone != 800 || p.Subproblems != 800 || p.MergeJobsPlanned != 800 {
+		t.Fatalf("lost events: %+v", p)
+	}
+}

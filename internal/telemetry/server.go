@@ -1,0 +1,100 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Server is a live telemetry HTTP endpoint. It serves:
+//
+//	/metrics    — LiveSnapshot JSON: {"progress": ..., "metrics": ...}
+//	/debug/vars — standard expvar JSON (includes the "rahtm" var mirroring
+//	              the same LiveSnapshot, next to memstats and cmdline)
+//
+// Construct with Serve and stop with Close. The server runs on its own
+// listener and mux, so it never interferes with an application's default
+// mux or other expvar publishers.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// LiveSnapshot is the payload of the /metrics endpoint.
+type LiveSnapshot struct {
+	Progress Progress `json:"progress"`
+	Metrics  Snapshot `json:"metrics"`
+}
+
+// serveState is the process-wide source feeding the published "rahtm"
+// expvar. expvar.Publish panics on duplicate names and has no Unpublish, so
+// the var is registered once and reads through an atomic pointer that each
+// Serve call swaps to its own sources.
+type serveState struct {
+	reg      *Registry
+	progress func() Progress
+}
+
+var (
+	publishOnce sync.Once
+	current     atomic.Pointer[serveState]
+)
+
+func liveSnapshot() LiveSnapshot {
+	st := current.Load()
+	if st == nil {
+		return LiveSnapshot{}
+	}
+	out := LiveSnapshot{Metrics: st.reg.Snapshot()}
+	if st.progress != nil {
+		out.Progress = st.progress()
+	}
+	return out
+}
+
+// Serve starts a telemetry endpoint on addr (e.g. "localhost:6060" or
+// ":0" for an ephemeral port) reading metrics from reg (nil = Default) and
+// live progress from the progress callback (nil = zero Progress). It
+// returns once the listener is bound; use Server.Addr for the bound
+// address and Server.Close to shut down.
+func Serve(addr string, reg *Registry, progress func() Progress) (*Server, error) {
+	if reg == nil {
+		reg = Default
+	}
+	current.Store(&serveState{reg: reg, progress: progress})
+	publishOnce.Do(func() {
+		expvar.Publish("rahtm", expvar.Func(func() interface{} {
+			return liveSnapshot()
+		}))
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(liveSnapshot())
+	})
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	s := &Server{ln: ln, srv: srv}
+	go func() { _ = srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// URL returns the base http:// URL of the endpoint.
+func (s *Server) URL() string { return "http://" + s.Addr() }
+
+// Close shuts the endpoint down.
+func (s *Server) Close() error { return s.srv.Close() }

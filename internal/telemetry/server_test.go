@@ -1,0 +1,87 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+)
+
+func getJSON(t *testing.T, url string, into interface{}) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d %s", url, resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, into); err != nil {
+		t.Fatalf("GET %s: bad JSON: %v\n%s", url, err, body)
+	}
+}
+
+func TestServeMetricsEndpoint(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter(CtrStencilHits).Add(42)
+	tr := NewProgressTracker()
+	tr.PhaseStart("map")
+	s, err := Serve("localhost:0", reg, tr.Snapshot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	var live LiveSnapshot
+	getJSON(t, s.URL()+"/metrics", &live)
+	if live.Metrics.Counter(CtrStencilHits) != 42 {
+		t.Fatalf("metrics: %+v", live.Metrics)
+	}
+	if live.Progress.Phase != "map" {
+		t.Fatalf("progress: %+v", live.Progress)
+	}
+
+	var vars map[string]json.RawMessage
+	getJSON(t, s.URL()+"/debug/vars", &vars)
+	raw, ok := vars["rahtm"]
+	if !ok {
+		t.Fatalf("expvar output missing rahtm var: %v", vars)
+	}
+	var published LiveSnapshot
+	if err := json.Unmarshal(raw, &published); err != nil {
+		t.Fatal(err)
+	}
+	if published.Metrics.Counter(CtrStencilHits) != 42 || published.Progress.Phase != "map" {
+		t.Fatalf("published expvar: %+v", published)
+	}
+}
+
+// TestServeTwiceSwapsState pins the expvar single-publish contract: a second
+// Serve must not panic and must redirect the published var to its own
+// sources.
+func TestServeTwiceSwapsState(t *testing.T) {
+	reg1 := NewRegistry()
+	reg1.Counter("x").Add(1)
+	s1, err := Serve("localhost:0", reg1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.Close()
+	reg2 := NewRegistry()
+	reg2.Counter("x").Add(2)
+	s2, err := Serve("localhost:0", reg2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	var live LiveSnapshot
+	getJSON(t, s2.URL()+"/metrics", &live)
+	if live.Metrics.Counter("x") != 2 {
+		t.Fatalf("second Serve must read its own registry: %+v", live.Metrics)
+	}
+}

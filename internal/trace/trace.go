@@ -26,6 +26,14 @@ import (
 
 	"rahtm/internal/collective"
 	"rahtm/internal/graph"
+	"rahtm/internal/telemetry"
+)
+
+// Profile expansion is metered on the process-wide telemetry registry, so
+// trace-driven tools can report ingestion volume alongside routing effort.
+var (
+	ctrP2P   = telemetry.Default.Counter(telemetry.CtrTraceP2P)
+	ctrColls = telemetry.Default.Counter(telemetry.CtrTraceColls)
 )
 
 // P2P is one aggregated point-to-point record.
@@ -134,6 +142,8 @@ func Parse(r io.Reader) (*Profile, error) {
 // bytes*count; collectives expand according to their implementation.
 func (p *Profile) Graph() (*graph.Comm, error) {
 	g := graph.New(p.Procs)
+	ctrP2P.Add(int64(len(p.P2Ps)))
+	ctrColls.Add(int64(len(p.Colls)))
 	for _, rec := range p.P2Ps {
 		g.AddTraffic(rec.Src, rec.Dst, rec.Bytes*float64(rec.Count))
 	}

@@ -26,6 +26,18 @@ type Observer = obs.Observer
 // NopObserver implement it.
 type WorkerObserver = obs.WorkerObserver
 
+// SpanObserver is an optional Observer extension: implementations receive
+// one timed span per scheduler job (representative solves, merges, level
+// preparation, sibling fan-outs). Spans fire from worker goroutines in
+// completion order — timing-domain, not deterministic. SpanRecorder
+// implements it.
+type SpanObserver = obs.SpanObserver
+
+// ProgressObserver is an optional Observer extension: implementations learn
+// how many scheduler jobs each phase is about to dispatch, enabling live
+// done/total progress views. ProgressTracker implements it.
+type ProgressObserver = obs.ProgressObserver
+
 // NopObserver ignores every event. Useful for embedding in partial
 // implementations that only care about some events.
 type NopObserver = obs.Nop
@@ -35,8 +47,21 @@ type NopObserver = obs.Nop
 // attach to stderr.
 type LogObserver = obs.Log
 
-// NewLogObserver returns a LogObserver writing to w.
+// NewLogObserver returns a LogObserver writing to w with the default
+// "rahtm: " line prefix.
 func NewLogObserver(w io.Writer) *LogObserver { return obs.NewLog(w) }
+
+// NewLogObserverPrefix returns a LogObserver with a custom line prefix, for
+// labeling runs in multi-run output. An empty prefix emits bare lines.
+func NewLogObserverPrefix(w io.Writer, prefix string) *LogObserver {
+	return obs.NewLogPrefix(w, prefix)
+}
+
+// TeeObservers fans every pipeline event out to all non-nil observers, so
+// logging, span recording, and live progress compose. Optional extension
+// events (WorkerObserver, SpanObserver, ProgressObserver) reach only the
+// members that implement them.
+func TeeObservers(members ...Observer) Observer { return obs.Tee(members...) }
 
 // Phase names passed to Observer.PhaseStart/PhaseEnd.
 const (

@@ -15,6 +15,11 @@
 //	m, _ := rahtm.Mapper{}.MapProcs(w, t, 16) // 16 processes per node
 //	rep := rahtm.Measure(t, w.Graph, m)       // MCL, hop-bytes, ...
 //
+// Observability: pipeline runs emit trace events to an Observer
+// (observer.go), always-on metrics counters snapshot via Metrics(), and
+// span timelines / live progress attach through SpanRecorder,
+// ProgressTracker, and ServeMetrics (telemetry.go; DESIGN.md §8).
+//
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-versus-measured results of every figure and table.
 package rahtm
