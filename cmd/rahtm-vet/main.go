@@ -1,0 +1,66 @@
+// Command rahtm-vet runs the rahtm-specific static-analysis suite
+// (internal/analysis) over the given package patterns — by default the
+// whole module — and exits non-zero if any invariant is violated.
+//
+//	go run ./cmd/rahtm-vet ./...
+//
+// The suite enforces what stock vet cannot: deterministic map iteration
+// in bit-identical packages (detrange), no global math/rand in library
+// code (globalrand), cancellation polling in solver loops and no
+// context.Background in internal code (ctxpoll), no exact float
+// comparisons outside tolerance helpers (floateq), and batched telemetry
+// counters in hot loops (telemetrybatch). Individual findings are
+// suppressed, with a mandatory justification, by
+//
+//	//rahtm:allow(<analyzer>): <reason>
+//
+// on the offending line or the line above; unused or misnamed allows are
+// themselves errors. See DESIGN.md §9.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rahtm/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	dir := flag.String("C", ".", "directory to resolve package patterns in")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: rahtm-vet [-C dir] [-list] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, az := range analysis.Analyzers() {
+			fmt.Printf("%-15s %s\n", az.Name, az.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rahtm-vet:", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.RunPackages(pkgs, analysis.Analyzers())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rahtm-vet:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "rahtm-vet: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}

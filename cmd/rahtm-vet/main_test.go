@@ -1,0 +1,41 @@
+package main
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+
+	"rahtm/internal/analysis"
+)
+
+// TestRepoVetClean is the enforcement gate in test form: the whole module
+// must pass its own static-analysis suite, so `go test ./...` fails the
+// moment a determinism, cancellation, or telemetry-budget invariant
+// regresses — even before CI runs rahtm-vet explicitly.
+func TestRepoVetClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go command not available:", err)
+	}
+	pkgs, err := analysis.Load("../..", "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("only %d packages loaded; pattern resolution looks broken", len(pkgs))
+	}
+	diags, err := analysis.RunPackages(pkgs, analysis.Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) > 0 {
+		var b strings.Builder
+		for _, d := range diags {
+			b.WriteString("\n  ")
+			b.WriteString(d.String())
+		}
+		t.Errorf("rahtm-vet found %d violation(s):%s", len(diags), b.String())
+	}
+}

@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// AllowName is the pseudo-analyzer under which directive hygiene problems
+// (unused, unknown-analyzer, or malformed //rahtm:allow comments) are
+// reported. It is not itself suppressible.
+const AllowName = "allow"
+
+// An Allow is one parsed //rahtm:allow(<analyzer>): <reason> directive. It
+// suppresses diagnostics of the named analyzer on its own line (trailing
+// directive) or on the line immediately below (directive on its own line).
+type Allow struct {
+	Analyzer string
+	Reason   string
+	Pos      token.Position
+	used     bool
+}
+
+var (
+	// allowRe matches a well-formed directive; group 1 is the analyzer
+	// name, group 2 the justification.
+	allowRe = regexp.MustCompile(`^//rahtm:allow\(([A-Za-z0-9_-]+)\):\s*(\S.*)$`)
+	// allowLooseRe matches anything that looks like an attempted
+	// directive, so malformed variants are reported rather than ignored.
+	allowLooseRe = regexp.MustCompile(`^//\s*rahtm:allow`)
+)
+
+// CollectAllows parses every //rahtm:allow directive in files. Malformed
+// directives (wrong shape, missing reason) are returned as diagnostics
+// immediately.
+func CollectAllows(fset *token.FileSet, files []*ast.File) ([]*Allow, []Diagnostic) {
+	var allows []*Allow
+	var bad []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimRight(c.Text, " \t")
+				if !allowLooseRe.MatchString(text) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				m := allowRe.FindStringSubmatch(text)
+				if m == nil {
+					bad = append(bad, Diagnostic{
+						Analyzer: AllowName,
+						Pos:      pos,
+						Message:  "malformed rahtm:allow directive; want //rahtm:allow(<analyzer>): <reason>",
+					})
+					continue
+				}
+				allows = append(allows, &Allow{Analyzer: m[1], Reason: m[2], Pos: pos})
+			}
+		}
+	}
+	return allows, bad
+}
+
+// ApplyAllows filters diags through the given directives and appends
+// directive-hygiene diagnostics: an allow naming an analyzer outside known
+// is reported as unknown, and an allow that suppressed nothing is reported
+// as unused (both under the AllowName pseudo-analyzer). The returned slice
+// is sorted by position.
+func ApplyAllows(diags []Diagnostic, allows []*Allow, known map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range diags {
+		suppressed := false
+		for _, a := range allows {
+			if a.Analyzer != d.Analyzer || a.Pos.Filename != d.Pos.Filename {
+				continue
+			}
+			if a.Pos.Line == d.Pos.Line || a.Pos.Line+1 == d.Pos.Line {
+				a.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			out = append(out, d)
+		}
+	}
+	for _, a := range allows {
+		switch {
+		case !known[a.Analyzer]:
+			out = append(out, Diagnostic{
+				Analyzer: AllowName,
+				Pos:      a.Pos,
+				Message:  "rahtm:allow names unknown analyzer \"" + a.Analyzer + "\"",
+			})
+		case !a.used:
+			out = append(out, Diagnostic{
+				Analyzer: AllowName,
+				Pos:      a.Pos,
+				Message:  "unused rahtm:allow(" + a.Analyzer + ") directive: nothing to suppress here",
+			})
+		}
+	}
+	sortDiagnostics(out)
+	return out
+}

@@ -1,0 +1,126 @@
+// Package analysis is rahtm-vet: a custom static-analysis suite enforcing
+// the invariants this codebase guarantees but no stock tool checks —
+// bit-identical deterministic execution (no global rand, no observable map
+// iteration order), context cancellation polling in solver loops, exact
+// float comparison hygiene, and the telemetry hot-loop batching budget.
+//
+// The framework mirrors the shape of golang.org/x/tools/go/analysis
+// (Analyzer / Pass / Diagnostic) but is built entirely on the standard
+// library: packages are enumerated with `go list -json`, parsed with
+// go/parser, and type-checked with go/types against gc export data
+// obtained from `go list -export` (see load.go). x/tools is deliberately
+// not a dependency — the suite must build offline from a bare toolchain.
+//
+// Diagnostics can be suppressed, one line at a time, with a directive
+// comment naming the analyzer and a mandatory justification:
+//
+//	//rahtm:allow(detrange): single write per key, values order-insensitive
+//
+// An allow that suppresses nothing, names an unknown analyzer, or omits
+// the reason is itself reported (see allow.go), so stale suppressions rot
+// loudly instead of silently.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// An Analyzer describes one invariant check. Run inspects a single
+// type-checked package via the Pass and reports findings with
+// Pass.Reportf. Filter, when non-nil, restricts which packages the driver
+// hands to Run; the analysistest harness bypasses Filter so fixtures can
+// impersonate any package via their configured import path.
+type Analyzer struct {
+	Name   string
+	Doc    string
+	Filter func(pkgPath string) bool
+	Run    func(*Pass) error
+}
+
+// A Pass is one (analyzer, package) unit of work, carrying the
+// type-checked syntax the analyzer inspects.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// PkgPath returns the import path the package was checked under.
+func (p *Pass) PkgPath() string { return p.Pkg.Path() }
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of expression e, or nil if unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if tv, ok := p.TypesInfo.Types[e]; ok {
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := p.TypesInfo.Uses[id]; obj != nil {
+			return obj.Type()
+		}
+		if obj := p.TypesInfo.Defs[id]; obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// A Diagnostic is one finding, positioned for editor navigation.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// sortDiagnostics orders diagnostics by file, line, column, analyzer.
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// runOne applies one analyzer to one loaded package and returns its raw
+// (unsuppressed) diagnostics.
+func runOne(az *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	pass := &Pass{
+		Analyzer:  az,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.TypesInfo,
+	}
+	if err := az.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %s: %w", az.Name, pkg.ImportPath, err)
+	}
+	return pass.diags, nil
+}

@@ -1,0 +1,175 @@
+// Package analysistest runs a rahtm-vet analyzer over a fixture directory
+// and checks its diagnostics against `// want` expectations, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the standard library
+// only. Fixtures live under testdata/ (invisible to `go list ./...`, so
+// their deliberate violations never leak into builds or the real vet run)
+// and are type-checked under a caller-chosen import path, which is how a
+// fixture opts into a package class (e.g. "rahtm/internal/graph" to be a
+// deterministic package for detrange).
+//
+// Expectation syntax, one or more per line, matched against the rendered
+// "analyzer: message" string:
+//
+//	m := rand.Intn(4) // want `globalrand: .*process-wide source`
+//
+// Every diagnostic must be matched by a want on its line and every want
+// must match at least one diagnostic; rahtm:allow directives are applied
+// exactly as the driver applies them, so fixtures can also assert
+// suppression and unused-allow reporting.
+package analysistest
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"rahtm/internal/analysis"
+)
+
+// wantRe captures the expectation list trailing a `// want` marker.
+var wantRe = regexp.MustCompile(`//\s*want\s+(.+)$`)
+
+// Run analyzes the fixture directory dir under import path asImportPath
+// with az, applies rahtm:allow suppression, and compares diagnostics
+// against the fixture's `// want` comments.
+func Run(t *testing.T, dir, asImportPath string, az *analysis.Analyzer) {
+	t.Helper()
+	diags, fset, files := analyze(t, dir, asImportPath, az)
+	wants := collectWants(t, fset, files)
+
+	matched := make([]bool, len(wants))
+	for _, d := range diags {
+		rendered := d.Analyzer + ": " + d.Message
+		ok := false
+		for i, w := range wants {
+			if w.file == filepath.Base(d.Pos.Filename) && w.line == d.Pos.Line && w.re.MatchString(rendered) {
+				matched[i] = true
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("%s: unexpected diagnostic: %s", d.Pos, rendered)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// analyze loads and checks the fixture, runs az (bypassing its Filter —
+// the fixture's import path stands in for scope), and resolves allows.
+func analyze(t *testing.T, dir, asImportPath string, az *analysis.Analyzer) ([]analysis.Diagnostic, *token.FileSet, []*ast.File) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		t.Fatalf("no fixture files in %s", dir)
+	}
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing fixture: %v", err)
+		}
+		files = append(files, f)
+	}
+	diags, err := analysis.RunFixture(dir, fset, files, asImportPath, az)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diags, fset, files
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+// collectWants parses every `// want` expectation in the fixture files.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []want {
+	t.Helper()
+	var wants []want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, pat := range splitPatterns(t, pos, m[1]) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+					}
+					wants = append(wants, want{file: filepath.Base(pos.Filename), line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitPatterns parses a want payload: a space-separated sequence of
+// quoted (double or backquoted) regexps.
+func splitPatterns(t *testing.T, pos token.Position, s string) []string {
+	t.Helper()
+	var pats []string
+	s = strings.TrimSpace(s)
+	for len(s) > 0 {
+		switch s[0] {
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				t.Fatalf("%s: unterminated want pattern: %s", pos, s)
+			}
+			pats = append(pats, s[1:1+end])
+			s = strings.TrimSpace(s[end+2:])
+		case '"':
+			var q string
+			var err error
+			// Find the closing quote by expanding prefixes until Unquote accepts.
+			for i := 1; i < len(s); i++ {
+				if s[i] == '"' && s[i-1] != '\\' {
+					q, err = strconv.Unquote(s[:i+1])
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %s: %v", pos, s[:i+1], err)
+					}
+					s = strings.TrimSpace(s[i+1:])
+					break
+				}
+				if i == len(s)-1 {
+					t.Fatalf("%s: unterminated want pattern: %s", pos, s)
+				}
+			}
+			pats = append(pats, q)
+		default:
+			t.Fatalf("%s: want patterns must be quoted or backquoted, got: %s", pos, s)
+		}
+	}
+	if len(pats) == 0 {
+		t.Fatalf("%s: empty want", pos)
+	}
+	return pats
+}

@@ -1,0 +1,195 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DetRange flags map iteration whose effect can depend on iteration order
+// inside the deterministic packages (graph, core, cluster, merge, hiermap,
+// routing). Those packages promise bit-identical results across runs and
+// across sequential/parallel schedules; Go randomizes map iteration order
+// per run, and even a float64 `+=` over map values is order-dependent
+// because float addition is not associative.
+//
+// A map range is accepted only in two shapes:
+//
+//   - collect-then-sort: the body only appends the key (or value) to a
+//     slice, and a later statement in the same block sorts that slice
+//     before it is used;
+//   - order-insensitive accumulation: every statement is an integer
+//     `+=`/`++`/`--`, a delete(...), or a continue, possibly under ifs —
+//     effects that commute exactly.
+//
+// Anything else (float accumulation, writes through calls, sends,
+// appends that are not subsequently sorted) is reported.
+var DetRange = &Analyzer{
+	Name:   "detrange",
+	Doc:    "map iteration with order-dependent effects in a deterministic package",
+	Filter: IsDeterministicPkg,
+	Run:    runDetRange,
+}
+
+func runDetRange(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var list []ast.Stmt
+			switch n := n.(type) {
+			case *ast.BlockStmt:
+				list = n.List
+			case *ast.CaseClause:
+				list = n.Body
+			case *ast.CommClause:
+				list = n.Body
+			default:
+				return true
+			}
+			for i, st := range list {
+				rs, ok := st.(*ast.RangeStmt)
+				if !ok {
+					continue
+				}
+				t := pass.TypeOf(rs.X)
+				if t == nil {
+					continue
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					continue
+				}
+				if collectThenSort(pass, rs, list[i+1:]) || orderInsensitive(pass, rs.Body.List) {
+					continue
+				}
+				pass.Reportf(rs.Pos(), "map iteration with order-dependent effects; collect keys and sort them first (map order is randomized per run)")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// collectThenSort reports whether the range body only appends into local
+// slices that a later statement in the enclosing block sorts.
+func collectThenSort(pass *Pass, rs *ast.RangeStmt, rest []ast.Stmt) bool {
+	targets := map[string]bool{}
+	for _, st := range rs.Body.List {
+		as, ok := st.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return false
+		}
+		lhs, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return false
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || !isBuiltinCall(pass, call, "append") {
+			return false
+		}
+		targets[lhs.Name] = true
+	}
+	if len(targets) == 0 {
+		return false
+	}
+	// Look for a subsequent sort.* / slices.* call mentioning a target.
+	sorted := false
+	for _, st := range rest {
+		ast.Inspect(st, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgID, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if obj, isPkg := pass.TypesInfo.Uses[pkgID].(*types.PkgName); !isPkg ||
+				(obj.Imported().Path() != "sort" && obj.Imported().Path() != "slices") {
+				return true
+			}
+			for _, arg := range call.Args {
+				ast.Inspect(arg, func(a ast.Node) bool {
+					if id, ok := a.(*ast.Ident); ok && targets[id.Name] {
+						sorted = true
+					}
+					return true
+				})
+			}
+			return true
+		})
+		if sorted {
+			return true
+		}
+	}
+	return false
+}
+
+// orderInsensitive reports whether every statement's effect commutes
+// exactly: integer accumulation, deletes, continues, possibly under ifs.
+func orderInsensitive(pass *Pass, stmts []ast.Stmt) bool {
+	for _, st := range stmts {
+		switch st := st.(type) {
+		case *ast.IncDecStmt:
+			if !isIntegerExpr(pass, st.X) {
+				return false
+			}
+		case *ast.AssignStmt:
+			if len(st.Lhs) != 1 {
+				return false
+			}
+			if st.Tok != token.ADD_ASSIGN && st.Tok != token.OR_ASSIGN && st.Tok != token.AND_ASSIGN && st.Tok != token.XOR_ASSIGN {
+				return false
+			}
+			if !isIntegerExpr(pass, st.Lhs[0]) {
+				return false
+			}
+		case *ast.ExprStmt:
+			call, ok := st.X.(*ast.CallExpr)
+			if !ok || !isBuiltinCall(pass, call, "delete") {
+				return false
+			}
+		case *ast.BranchStmt:
+			if st.Tok != token.CONTINUE {
+				return false
+			}
+		case *ast.EmptyStmt:
+		case *ast.IfStmt:
+			if !orderInsensitive(pass, st.Body.List) {
+				return false
+			}
+			switch e := st.Else.(type) {
+			case nil:
+			case *ast.BlockStmt:
+				if !orderInsensitive(pass, e.List) {
+					return false
+				}
+			default:
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func isIntegerExpr(pass *Pass, e ast.Expr) bool {
+	t := pass.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+func isBuiltinCall(pass *Pass, call *ast.CallExpr, name string) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok
+}

@@ -1,0 +1,34 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// RunFixture type-checks already-parsed fixture files under asImportPath
+// and runs az on the result, bypassing az.Filter (the synthetic import
+// path stands in for package class) but applying rahtm:allow resolution
+// exactly as the driver does, so fixtures exercise suppression and
+// unused-allow reporting too. It is the entry point the analysistest
+// harness builds on.
+func RunFixture(dir string, fset *token.FileSet, files []*ast.File, asImportPath string, az *Analyzer) ([]Diagnostic, error) {
+	pkg, info, err := CheckFiles(dir, fset, files, asImportPath)
+	if err != nil {
+		return nil, err
+	}
+	pass := &Pass{
+		Analyzer:  az,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+	}
+	if err := az.Run(pass); err != nil {
+		return nil, err
+	}
+	allows, malformed := CollectAllows(fset, files)
+	diags := ApplyAllows(pass.diags, allows, KnownNames())
+	diags = append(diags, malformed...)
+	sortDiagnostics(diags)
+	return diags, nil
+}

@@ -1,0 +1,116 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// FloatEq flags == and != between floating-point values. Mapping quality
+// (MCL, channel loads, LP objectives) is float64 everywhere; exact
+// equality on those values is either a latent bug (values that differ in
+// the last ulp compare unequal across solver schedules) or an undocumented
+// exactness assumption. Comparisons are accepted when they are exact by
+// construction:
+//
+//   - against a literal zero (sentinel for "unset/absent");
+//   - against +-Inf via math.Inf or math.IsInf-style helpers;
+//   - x != x / x == x (NaN probes);
+//   - inside tolerance helpers (function names matching
+//     almost/approx/near/toler/within), whose whole job is comparing.
+//
+// Everything else needs a tolerance helper or a rahtm:allow with the
+// exactness argument spelled out.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "exact ==/!= on floating-point values outside tolerance helpers",
+	Run:  runFloatEq,
+}
+
+var tolHelperRe = regexp.MustCompile(`(?i)almost|approx|near|toler|within`)
+
+func runFloatEq(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if tolHelperRe.MatchString(fd.Name.Name) {
+				continue
+			}
+			checkFloatEq(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+func checkFloatEq(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+			return true
+		}
+		if !isFloatExpr(pass, be.X) || !isFloatExpr(pass, be.Y) {
+			return true
+		}
+		if isConstExpr(pass, be.X) && isConstExpr(pass, be.Y) {
+			return true // folded at compile time
+		}
+		if isZeroLit(pass, be.X) || isZeroLit(pass, be.Y) {
+			return true
+		}
+		if isInfCall(pass, be.X) || isInfCall(pass, be.Y) {
+			return true
+		}
+		if types.ExprString(be.X) == types.ExprString(be.Y) {
+			return true // NaN probe
+		}
+		pass.Reportf(be.OpPos, "exact %s on float values; compare with a tolerance helper (math.Abs(a-b) <= tol) or justify with rahtm:allow", be.Op)
+		return true
+	})
+}
+
+func isFloatExpr(pass *Pass, e ast.Expr) bool {
+	t := pass.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isConstExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}
+
+// isZeroLit reports whether e is a literal zero (0, 0.0, -0.0, ...).
+func isZeroLit(pass *Pass, e ast.Expr) bool {
+	if u, ok := e.(*ast.UnaryExpr); ok && (u.Op == token.SUB || u.Op == token.ADD) {
+		e = u.X
+	}
+	if _, ok := e.(*ast.BasicLit); !ok {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	return tv.Value.String() == "0"
+}
+
+// isInfCall reports whether e is math.Inf(...), an exact value.
+func isInfCall(pass *Pass, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "math" && fn.Name() == "Inf"
+}

@@ -1,0 +1,50 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GlobalRand flags calls to the package-level functions of math/rand (and
+// math/rand/v2): Intn, Float64, Perm, Shuffle, Seed, and friends. The
+// process-wide source is seeded randomly at startup since Go 1.20, so any
+// library code drawing from it produces run-to-run different mappings —
+// breaking the reproducible, seeded execution RAHTM's comparisons rely
+// on. Constructors (New, NewSource, ...) are fine: the required pattern
+// is a seeded *rand.Rand threaded through the relevant Config.
+var GlobalRand = &Analyzer{
+	Name: "globalrand",
+	Doc:  "package-level math/rand call; thread a seeded *rand.Rand instead",
+	Run:  runGlobalRand,
+}
+
+// randConstructors are the non-drawing entry points that build seeded
+// generators; calling them is the approved pattern, not a violation.
+var randConstructors = set("New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8")
+
+func runGlobalRand(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if p := fn.Pkg().Path(); p != "math/rand" && p != "math/rand/v2" {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // methods on *rand.Rand are the fix, not the bug
+			}
+			if randConstructors[fn.Name()] {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "global math/rand.%s draws from the process-wide source; use a seeded *rand.Rand from the config", fn.Name())
+			return true
+		})
+	}
+	return nil
+}

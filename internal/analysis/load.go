@@ -1,0 +1,188 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+)
+
+// A Package is one type-checked target package ready for analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+}
+
+// listedPkg is the subset of `go list -json` output the loader consumes.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+}
+
+// goList runs `go list` in dir and decodes its JSON object stream.
+func goList(dir string, args ...string) ([]listedPkg, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	var out, errb bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %v: %v: %s", args, err, errb.String())
+	}
+	var pkgs []listedPkg
+	dec := json.NewDecoder(&out)
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list %v: decoding output: %v", args, err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportLookup builds an import-path -> gc-export-data-file map for the
+// transitive dependencies of patterns, by asking the go command to compile
+// export data into the build cache.
+func exportLookup(dir string, patterns ...string) (map[string]string, error) {
+	args := append([]string{"-deps", "-export", "-json=ImportPath,Export"}, patterns...)
+	pkgs, err := goList(dir, args...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(pkgs))
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+}
+
+// newImporter returns a go/types importer that resolves imports from the
+// given export-data file map.
+func newImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+}
+
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// Load enumerates the packages matching patterns (relative to dir, as the
+// go command would interpret them), parses their non-test sources, and
+// type-checks them from source against gc export data for dependencies.
+// Test files are excluded deliberately: the invariants rahtm-vet enforces
+// concern library and command code; tests may use context.Background,
+// exact float comparisons against goldens, and so on.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	targets, err := goList(dir, append([]string{"-json=ImportPath,Dir,GoFiles"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	exports, err := exportLookup(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := newImporter(fset, exports)
+	var out []*Package
+	for _, t := range targets {
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		var files []*ast.File
+		for _, gf := range t.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, gf), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		info := newTypesInfo()
+		conf := types.Config{Importer: imp}
+		pkg, err := conf.Check(t.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %v", t.ImportPath, err)
+		}
+		out = append(out, &Package{
+			ImportPath: t.ImportPath,
+			Dir:        t.Dir,
+			Fset:       fset,
+			Files:      files,
+			Types:      pkg,
+			TypesInfo:  info,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ImportPath < out[j].ImportPath })
+	return out, nil
+}
+
+// CheckFiles type-checks an already-parsed file set under the given import
+// path, resolving its imports via `go list -export`. It is the loading path
+// used by the analysistest fixture harness, whose sources live under
+// testdata/ and are therefore invisible to `go list ./...`.
+func CheckFiles(dir string, fset *token.FileSet, files []*ast.File, asImportPath string) (*types.Package, *types.Info, error) {
+	seen := map[string]bool{}
+	var imports []string
+	for _, f := range files {
+		for _, spec := range f.Imports {
+			path, err := strconv.Unquote(spec.Path.Value)
+			if err != nil || path == "unsafe" || seen[path] {
+				continue
+			}
+			seen[path] = true
+			imports = append(imports, path)
+		}
+	}
+	exports := map[string]string{}
+	if len(imports) > 0 {
+		sort.Strings(imports)
+		var err error
+		exports, err = exportLookup(dir, imports...)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	info := newTypesInfo()
+	conf := types.Config{Importer: newImporter(fset, exports)}
+	pkg, err := conf.Check(asImportPath, fset, files, info)
+	if err != nil {
+		return nil, nil, fmt.Errorf("type-checking fixture %s: %v", asImportPath, err)
+	}
+	return pkg, info, nil
+}

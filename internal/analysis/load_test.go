@@ -1,0 +1,41 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"rahtm/internal/analysis"
+)
+
+// TestLoadSelf loads this very package through the go-list/export-data
+// pipeline and sanity-checks the result is fully type-checked.
+func TestLoadSelf(t *testing.T) {
+	requireGo(t)
+	pkgs, err := analysis.Load(".", ".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.ImportPath != "rahtm/internal/analysis" {
+		t.Errorf("import path %q", p.ImportPath)
+	}
+	if len(p.Files) == 0 || p.Types == nil || p.TypesInfo == nil {
+		t.Fatal("package not fully loaded")
+	}
+	if len(p.TypesInfo.Uses) == 0 {
+		t.Error("no use information recorded; type-checking silently incomplete")
+	}
+	if p.Types.Scope().Lookup("Analyzer") == nil {
+		t.Error("Analyzer type not found in checked scope")
+	}
+}
+
+// TestLoadBadPattern surfaces go-list failures as errors, not panics.
+func TestLoadBadPattern(t *testing.T) {
+	requireGo(t)
+	if _, err := analysis.Load(".", "./no/such/dir/..."); err == nil {
+		t.Fatal("expected error for bad pattern")
+	}
+}

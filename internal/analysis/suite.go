@@ -1,0 +1,43 @@
+package analysis
+
+// Analyzers returns the full rahtm-vet suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{CtxPoll, DetRange, FloatEq, GlobalRand, TelemetryBatch}
+}
+
+// KnownNames returns the set of analyzer names a rahtm:allow directive may
+// legally reference.
+func KnownNames() map[string]bool {
+	known := map[string]bool{}
+	for _, az := range Analyzers() {
+		known[az.Name] = true
+	}
+	return known
+}
+
+// RunPackages applies the given analyzers to every package, honoring each
+// analyzer's Filter, then resolves rahtm:allow directives per package
+// (suppressing matched diagnostics, reporting unused or unknown allows).
+// The result is sorted by position.
+func RunPackages(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	known := KnownNames()
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		allows, malformed := CollectAllows(pkg.Fset, pkg.Files)
+		var diags []Diagnostic
+		for _, az := range analyzers {
+			if az.Filter != nil && !az.Filter(pkg.ImportPath) {
+				continue
+			}
+			ds, err := runOne(az, pkg)
+			if err != nil {
+				return nil, err
+			}
+			diags = append(diags, ds...)
+		}
+		all = append(all, ApplyAllows(diags, allows, known)...)
+		all = append(all, malformed...)
+	}
+	sortDiagnostics(all)
+	return all, nil
+}

@@ -1,0 +1,93 @@
+package analysis_test
+
+import (
+	"os/exec"
+	"testing"
+
+	"rahtm/internal/analysis"
+	"rahtm/internal/analysis/analysistest"
+)
+
+// requireGo skips when the go command is unavailable (the loader shells
+// out to `go list` for package enumeration and export data).
+func requireGo(t *testing.T) {
+	t.Helper()
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go command not available:", err)
+	}
+}
+
+func TestDetRange(t *testing.T) {
+	requireGo(t)
+	analysistest.Run(t, "testdata/detrange", "rahtm/internal/graph", analysis.DetRange)
+}
+
+func TestGlobalRand(t *testing.T) {
+	requireGo(t)
+	analysistest.Run(t, "testdata/globalrand", "rahtm/internal/hiermap", analysis.GlobalRand)
+}
+
+func TestCtxPoll(t *testing.T) {
+	requireGo(t)
+	analysistest.Run(t, "testdata/ctxpoll", "rahtm/internal/lp", analysis.CtxPoll)
+}
+
+func TestFloatEq(t *testing.T) {
+	requireGo(t)
+	analysistest.Run(t, "testdata/floateq", "rahtm/internal/routing", analysis.FloatEq)
+}
+
+func TestTelemetryBatch(t *testing.T) {
+	requireGo(t)
+	analysistest.Run(t, "testdata/telemetrybatch", "rahtm/internal/routing", analysis.TelemetryBatch)
+}
+
+// TestAllowDirective proves the suppression contract: a directive silences
+// exactly the named analyzer on its line, and unused, misnamed, and
+// malformed directives are themselves reported.
+func TestAllowDirective(t *testing.T) {
+	requireGo(t)
+	analysistest.Run(t, "testdata/allow", "rahtm/internal/hiermap", analysis.GlobalRand)
+}
+
+// TestAnalyzerScopes pins each analyzer's package filter: the invariants
+// are scoped to the package classes that promised them.
+func TestAnalyzerScopes(t *testing.T) {
+	cases := []struct {
+		az   *analysis.Analyzer
+		path string
+		want bool
+	}{
+		{analysis.DetRange, "rahtm/internal/graph", true},
+		{analysis.DetRange, "rahtm/internal/hiermap", true},
+		{analysis.DetRange, "rahtm/internal/telemetry", false},
+		{analysis.CtxPoll, "rahtm/internal/lp", true},
+		{analysis.CtxPoll, "rahtm/internal/packetsim", true},
+		{analysis.CtxPoll, "rahtm", false},
+		{analysis.TelemetryBatch, "rahtm/internal/routing", true},
+		{analysis.TelemetryBatch, "rahtm/internal/mapfile", false},
+	}
+	for _, c := range cases {
+		if got := c.az.Filter(c.path); got != c.want {
+			t.Errorf("%s.Filter(%q) = %v, want %v", c.az.Name, c.path, got, c.want)
+		}
+	}
+	if analysis.GlobalRand.Filter != nil {
+		t.Error("globalrand should apply to every package")
+	}
+	if analysis.FloatEq.Filter != nil {
+		t.Error("floateq should apply to every package")
+	}
+}
+
+func TestKnownNames(t *testing.T) {
+	known := analysis.KnownNames()
+	for _, name := range []string{"detrange", "globalrand", "ctxpoll", "floateq", "telemetrybatch"} {
+		if !known[name] {
+			t.Errorf("analyzer %q missing from suite", name)
+		}
+	}
+	if len(known) != 5 {
+		t.Errorf("suite has %d analyzers, want 5", len(known))
+	}
+}

@@ -1,0 +1,40 @@
+// Fixture for the rahtm:allow directive itself, run under the globalrand
+// analyzer: a well-placed allow silences exactly the named analyzer on its
+// line; unused, misnamed, and malformed allows are themselves reported.
+package fixture
+
+import "math/rand"
+
+// suppressed: the directive names the analyzer that fires here, so no
+// globalrand diagnostic is expected.
+func suppressed(n int) int {
+	//rahtm:allow(globalrand): deliberate draw from the global source in a fixture
+	return rand.Intn(n)
+}
+
+// trailing directives on the offending line itself also suppress.
+func suppressedTrailing(n int) int {
+	return rand.Intn(n) //rahtm:allow(globalrand): deliberate draw from the global source in a fixture
+}
+
+// wrongName: the allow names a different (known) analyzer, so the
+// globalrand diagnostic survives and the floateq allow is unused.
+func wrongName(n int) int {
+	//rahtm:allow(floateq): names the wrong analyzer on purpose // want `allow: unused rahtm:allow\(floateq\)`
+	return rand.Intn(n) // want `globalrand: global math/rand.Intn`
+}
+
+// An allow with nothing to suppress is reported as unused.
+//
+//rahtm:allow(globalrand): nothing on the next line violates // want `allow: unused rahtm:allow\(globalrand\)`
+func clean() {}
+
+// An allow naming an analyzer that does not exist is reported.
+//
+//rahtm:allow(nosuchanalyzer): bogus name // want `allow: rahtm:allow names unknown analyzer "nosuchanalyzer"`
+func cleanToo() {}
+
+// A directive without the mandatory reason is malformed.
+//
+//rahtm:allow(globalrand) // want `allow: malformed rahtm:allow directive`
+func cleanThree() {}

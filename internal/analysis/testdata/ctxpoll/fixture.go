@@ -1,0 +1,71 @@
+// Fixture for the ctxpoll analyzer: solver loops must poll cancellation;
+// internal code must not mint root contexts. Checked under the synthetic
+// import path rahtm/internal/lp (a solver package).
+package fixture
+
+import "context"
+
+func work() {}
+
+// badRoot mints a root context inside internal code.
+func badRoot() context.Context {
+	return context.Background() // want `ctxpoll: context.Background\(\) in internal code`
+}
+
+// badBudget runs an iteration-budget loop without ever consulting ctx.
+func badBudget(ctx context.Context, maxIters int) {
+	for it := 0; it < maxIters; it++ { // want `ctxpoll: solve loop never polls cancellation`
+		work()
+	}
+}
+
+// badConverge is a while-style convergence loop ignoring its cancel channel.
+func badConverge(cancel <-chan struct{}) {
+	improving := true
+	for improving { // want `ctxpoll: solve loop never polls cancellation`
+		work()
+		improving = false
+	}
+}
+
+// goodSelect polls ctx each sweep.
+func goodSelect(ctx context.Context, maxIters int) {
+	for it := 0; it < maxIters; it++ {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+		}
+		work()
+	}
+}
+
+// goodChan polls a done channel each sweep.
+func goodChan(cancel <-chan struct{}, maxIters int) {
+	for it := 0; it < maxIters; it++ {
+		select {
+		case <-cancel:
+			return
+		default:
+		}
+		work()
+	}
+}
+
+// goodDataBounded is bounded by its input and does no heavy work; such
+// loops finish on their own and need not poll.
+func goodDataBounded(ctx context.Context, xs []float64) float64 {
+	sum := 0.0
+	for i := 0; i < len(xs); i++ {
+		sum += xs[i]
+	}
+	return sum
+}
+
+// allowedLoop shows a justified suppression: no diagnostic expected.
+func allowedLoop(ctx context.Context, maxIters int) {
+	//rahtm:allow(ctxpoll): fixture exercises suppression on the next line
+	for it := 0; it < maxIters; it++ {
+		work()
+	}
+}

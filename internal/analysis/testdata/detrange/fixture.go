@@ -1,0 +1,69 @@
+// Fixture for the detrange analyzer: map iteration with order-dependent
+// effects in a deterministic package. Checked under the synthetic import
+// path rahtm/internal/graph.
+package fixture
+
+import "sort"
+
+// badFloatSum accumulates floats in map order: not associative, flagged.
+func badFloatSum(m map[int]float64) float64 {
+	tot := 0.0
+	for _, v := range m { // want `detrange: map iteration with order-dependent effects`
+		tot += v
+	}
+	return tot
+}
+
+// badCollect appends keys but never sorts them before returning.
+func badCollect(m map[int]float64) []int {
+	var keys []int
+	for k := range m { // want `detrange: map iteration with order-dependent effects`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// badNested writes through a call whose effect depends on arrival order.
+func badNested(m map[int]float64, sink func(int, float64)) {
+	for k, v := range m { // want `detrange: map iteration with order-dependent effects`
+		sink(k, v)
+	}
+}
+
+// goodCollect is the canonical collect-then-sort pattern.
+func goodCollect(m map[int]float64) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// goodIntCount only accumulates integers, which commutes exactly.
+func goodIntCount(m map[int]float64) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// goodPrune only deletes, which is order-insensitive.
+func goodPrune(m map[int]float64) {
+	for k, v := range m {
+		if v <= 0 {
+			delete(m, k)
+		}
+	}
+}
+
+// allowedSum shows a justified suppression: no diagnostic expected.
+func allowedSum(m map[int]float64) float64 {
+	tot := 0.0
+	//rahtm:allow(detrange): fixture exercises suppression on the next line
+	for _, v := range m {
+		tot += v
+	}
+	return tot
+}

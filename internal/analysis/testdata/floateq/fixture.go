@@ -1,0 +1,39 @@
+// Fixture for the floateq analyzer: exact ==/!= between floats outside
+// tolerance helpers.
+package fixture
+
+import "math"
+
+// bad compares two computed floats exactly.
+func bad(a, b float64) bool {
+	return a == b // want `floateq: exact == on float values`
+}
+
+// badNeq is the != form.
+func badNeq(a, b float64) bool {
+	return a != b // want `floateq: exact != on float values`
+}
+
+// goodZero compares against the zero sentinel, which is exact.
+func goodZero(a float64) bool { return a == 0 }
+
+// goodNaN is the x != x NaN probe.
+func goodNaN(a float64) bool { return a != a }
+
+// goodInf compares against the exact infinity.
+func goodInf(a float64) bool { return a == math.Inf(1) }
+
+// goodTol is the approved tolerance comparison.
+func goodTol(a, b float64) bool { return math.Abs(a-b) <= 1e-9 }
+
+// almostEqual is a tolerance helper by name; its exact compare (the
+// fast path before the tolerance fallback) is its job.
+func almostEqual(a, b float64) bool {
+	return a == b || math.Abs(a-b) <= 1e-12
+}
+
+// allowed shows a justified suppression: no diagnostic expected.
+func allowed(a, b float64) bool {
+	//rahtm:allow(floateq): fixture exercises suppression on the next line
+	return a == b
+}

@@ -1,0 +1,32 @@
+// Fixture for the globalrand analyzer: package-level math/rand calls draw
+// from the process-wide source, which Go seeds randomly at startup.
+package fixture
+
+import "math/rand"
+
+// bad draws from the global source.
+func bad(n int) int {
+	return rand.Intn(n) // want `globalrand: global math/rand.Intn`
+}
+
+// badShuffle permutes through the global source.
+func badShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `globalrand: global math/rand.Shuffle`
+}
+
+// badFloat draws a float from the global source.
+func badFloat() float64 {
+	return rand.Float64() // want `globalrand: global math/rand.Float64`
+}
+
+// good is the approved pattern: a seeded generator from the config.
+func good(seed int64, n int) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(n)
+}
+
+// allowed shows a justified suppression: no diagnostic expected.
+func allowed(n int) int {
+	//rahtm:allow(globalrand): fixture exercises suppression on the next line
+	return rand.Intn(n)
+}

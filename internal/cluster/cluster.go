@@ -193,8 +193,11 @@ func heavyEdgePairs(g *graph.Comm) []int {
 		}
 	}
 	sort.Slice(edges, func(i, j int) bool {
-		if edges[i].w != edges[j].w {
-			return edges[i].w > edges[j].w
+		if edges[i].w > edges[j].w {
+			return true
+		}
+		if edges[i].w < edges[j].w {
+			return false
 		}
 		if edges[i].u != edges[j].u {
 			return edges[i].u < edges[j].u

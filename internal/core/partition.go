@@ -27,6 +27,7 @@ import (
 // because the partitions have different shapes; the partition cut is
 // minimized instead.)
 func MapPartitioned(proc *graph.Comm, t *topology.Torus, cfg Config) (*Result, error) {
+	//rahtm:allow(ctxpoll): compatibility wrapper; the root context is the documented default for the non-Ctx API
 	return MapPartitionedCtx(context.Background(), proc, t, cfg)
 }
 
@@ -220,36 +221,56 @@ func partitionBySizes(g *graph.Comm, sizes []int) ([][]int, error) {
 			v++
 		}
 	}
-	// Symmetric adjacency.
-	adj := make([]map[int]float64, g.N())
-	for i := range adj {
-		adj[i] = make(map[int]float64)
+	// Symmetric adjacency. The iterable form is a sorted neighbor list,
+	// not a map: the gain function accumulates float weights, and float
+	// addition in randomized map order would make refinement (and thus
+	// the final partition) differ bit-for-bit between runs. A map shadow
+	// serves point lookups only.
+	type nbw struct {
+		nb int
+		w  float64
+	}
+	adjList := make([][]nbw, g.N())
+	adjW := make([]map[int]float64, g.N())
+	for i := range adjW {
+		adjW[i] = make(map[int]float64)
 	}
 	for _, f := range g.Flows() {
-		adj[f.Src][f.Dst] += f.Vol
-		adj[f.Dst][f.Src] += f.Vol
+		adjW[f.Src][f.Dst] += f.Vol
+		adjW[f.Dst][f.Src] += f.Vol
+	}
+	for v := range adjW {
+		nbs := make([]int, 0, len(adjW[v]))
+		for nb := range adjW[v] {
+			nbs = append(nbs, nb)
+		}
+		sort.Ints(nbs)
+		adjList[v] = make([]nbw, len(nbs))
+		for i, nb := range nbs {
+			adjList[v][i] = nbw{nb, adjW[v][nb]}
+		}
 	}
 	gain := func(a, b int) float64 {
 		// Gain of swapping vertices a and b between their parts.
 		pa, pb := part[a], part[b]
 		da, db := 0.0, 0.0
-		for nb, w := range adj[a] {
-			switch part[nb] {
+		for _, e := range adjList[a] {
+			switch part[e.nb] {
 			case pb:
-				da += w
+				da += e.w
 			case pa:
-				da -= w
+				da -= e.w
 			}
 		}
-		for nb, w := range adj[b] {
-			switch part[nb] {
+		for _, e := range adjList[b] {
+			switch part[e.nb] {
 			case pa:
-				db += w
+				db += e.w
 			case pb:
-				db -= w
+				db -= e.w
 			}
 		}
-		return da + db - 2*adj[a][b]
+		return da + db - 2*adjW[a][b]
 	}
 	for pass := 0; pass < 4; pass++ {
 		improved := false

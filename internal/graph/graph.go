@@ -75,12 +75,26 @@ func (g *Comm) NumEdges() int {
 	return m
 }
 
+// sortedDsts returns the keys of one adjacency row in ascending order.
+// Every observable iteration over a row goes through this helper: float
+// accumulation is not associative, so summing (or re-adding) volumes in
+// Go's randomized map order would leak that order into results that must
+// be bit-identical across runs and schedules.
+func sortedDsts(a map[int]float64) []int {
+	dsts := make([]int, 0, len(a))
+	for d := range a {
+		dsts = append(dsts, d)
+	}
+	sort.Ints(dsts)
+	return dsts
+}
+
 // TotalVolume returns the sum of all edge volumes.
 func (g *Comm) TotalVolume() float64 {
 	tot := 0.0
 	for _, a := range g.adj {
-		for _, v := range a {
-			tot += v
+		for _, d := range sortedDsts(a) {
+			tot += a[d]
 		}
 	}
 	return tot
@@ -90,15 +104,7 @@ func (g *Comm) TotalVolume() float64 {
 func (g *Comm) Flows() []Flow {
 	out := make([]Flow, 0, g.NumEdges())
 	for s, a := range g.adj {
-		if len(a) == 0 {
-			continue
-		}
-		dsts := make([]int, 0, len(a))
-		for d := range a {
-			dsts = append(dsts, d)
-		}
-		sort.Ints(dsts)
-		for _, d := range dsts {
+		for _, d := range sortedDsts(a) {
 			out = append(out, Flow{Src: s, Dst: d, Vol: a[d]})
 		}
 	}
@@ -108,20 +114,16 @@ func (g *Comm) Flows() []Flow {
 // Neighbors returns the out-neighbors of s in ascending order.
 func (g *Comm) Neighbors(s int) []int {
 	g.check(s)
-	out := make([]int, 0, len(g.adj[s]))
-	for d := range g.adj[s] {
-		out = append(out, d)
-	}
-	sort.Ints(out)
-	return out
+	return sortedDsts(g.adj[s])
 }
 
 // OutVolume returns the total volume originating at s.
 func (g *Comm) OutVolume(s int) float64 {
 	g.check(s)
 	tot := 0.0
-	for _, v := range g.adj[s] {
-		tot += v
+	a := g.adj[s]
+	for _, d := range sortedDsts(a) {
+		tot += a[d]
 	}
 	return tot
 }
@@ -131,8 +133,8 @@ func (g *Comm) OutVolume(s int) float64 {
 func (g *Comm) Symmetrized() *Comm {
 	out := New(g.n)
 	for s, a := range g.adj {
-		for d, v := range a {
-			half := v / 2
+		for _, d := range sortedDsts(a) {
+			half := a[d] / 2
 			out.AddTraffic(s, d, half)
 			out.AddTraffic(d, s, half)
 		}
@@ -144,8 +146,8 @@ func (g *Comm) Symmetrized() *Comm {
 func (g *Comm) Clone() *Comm {
 	out := New(g.n)
 	for s, a := range g.adj {
-		for d, v := range a {
-			out.AddTraffic(s, d, v)
+		for _, d := range sortedDsts(a) {
+			out.AddTraffic(s, d, a[d])
 		}
 	}
 	return out
@@ -158,8 +160,8 @@ func (g *Comm) Scale(f float64) *Comm {
 	}
 	out := New(g.n)
 	for s, a := range g.adj {
-		for d, v := range a {
-			out.AddTraffic(s, d, v*f)
+		for _, d := range sortedDsts(a) {
+			out.AddTraffic(s, d, a[d]*f)
 		}
 	}
 	return out
@@ -182,12 +184,12 @@ func (g *Comm) Coarsen(assign []int, parts int) (*Comm, float64) {
 		if cs < 0 || cs >= parts {
 			panic(fmt.Sprintf("graph: assignment %d for vertex %d out of range", cs, s))
 		}
-		for d, v := range a {
+		for _, d := range sortedDsts(a) {
 			cd := assign[d]
 			if cs == cd {
-				intra += v
+				intra += a[d]
 			} else {
-				out.AddTraffic(cs, cd, v)
+				out.AddTraffic(cs, cd, a[d])
 			}
 		}
 	}
@@ -208,9 +210,10 @@ func (g *Comm) InducedSubgraph(verts []int) (*Comm, map[int]int) {
 	}
 	out := New(len(verts))
 	for _, v := range verts {
-		for d, w := range g.adj[v] {
+		a := g.adj[v]
+		for _, d := range sortedDsts(a) {
 			if ld, ok := local[d]; ok {
-				out.AddTraffic(local[v], ld, w)
+				out.AddTraffic(local[v], ld, a[d])
 			}
 		}
 	}
@@ -224,8 +227,8 @@ func (g *Comm) Permuted(perm []int) *Comm {
 	}
 	out := New(g.n)
 	for s, a := range g.adj {
-		for d, v := range a {
-			out.AddTraffic(perm[s], perm[d], v)
+		for _, d := range sortedDsts(a) {
+			out.AddTraffic(perm[s], perm[d], a[d])
 		}
 	}
 	return out
@@ -238,13 +241,13 @@ func (g *Comm) Equal(h *Comm, tol float64) bool {
 		return false
 	}
 	for s := 0; s < g.n; s++ {
-		for d, v := range g.adj[s] {
-			if math.Abs(v-h.Traffic(s, d)) > tol {
+		for _, d := range sortedDsts(g.adj[s]) {
+			if math.Abs(g.adj[s][d]-h.Traffic(s, d)) > tol {
 				return false
 			}
 		}
-		for d, v := range h.adj[s] {
-			if math.Abs(v-g.Traffic(s, d)) > tol {
+		for _, d := range sortedDsts(h.adj[s]) {
+			if math.Abs(h.adj[s][d]-g.Traffic(s, d)) > tol {
 				return false
 			}
 		}

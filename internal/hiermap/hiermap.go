@@ -104,6 +104,7 @@ type Result struct {
 // Map places the |V| clusters of g onto the cube with the given {1,2}^n
 // shape (|V| must equal the cube size).
 func Map(g *graph.Comm, shape []int, cfg Config) (*Result, error) {
+	//rahtm:allow(ctxpoll): compatibility wrapper; the root context is the documented default for the non-Ctx API
 	return MapCtx(context.Background(), g, shape, cfg)
 }
 

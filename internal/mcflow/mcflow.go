@@ -33,6 +33,7 @@ type Result struct {
 // (distance-decreasing hops through nodes on some minimal source-destination
 // path). Tasks sharing a node contribute nothing.
 func Evaluate(t *topology.Torus, g *graph.Comm, m topology.Mapping, opt lp.Options) (*Result, error) {
+	//rahtm:allow(ctxpoll): compatibility wrapper; the root context is the documented default for the non-Ctx API
 	res, _, err := evaluate(context.Background(), t, g, m, opt, false)
 	return res, err
 }

@@ -31,6 +31,7 @@ type RoutingTable struct {
 // EvaluateWithRoutes is Evaluate plus the per-flow routing table extracted
 // from the LP solution.
 func EvaluateWithRoutes(t *topology.Torus, g *graph.Comm, m topology.Mapping, opt lp.Options) (*Result, *RoutingTable, error) {
+	//rahtm:allow(ctxpoll): compatibility wrapper; the root context is the documented default for the non-Ctx API
 	return EvaluateWithRoutesCtx(context.Background(), t, g, m, opt)
 }
 

@@ -242,6 +242,7 @@ func (c Config) withDefaults() Config {
 // block. childPos[i] is the pinned cube position of child i (row-major over
 // cubeShape) from Phase 2. g is the global task-level communication graph.
 func Merge(g *graph.Comm, children []*Block, cubeShape []int, childPos []int, cfg Config) (*Block, error) {
+	//rahtm:allow(ctxpoll): compatibility wrapper; the root context is the documented default for the non-Ctx API
 	return MergeCtx(context.Background(), g, children, cubeShape, childPos, cfg)
 }
 
@@ -541,6 +542,7 @@ func (m *merger) mergeOrder() []int {
 		go func(lo, hi int) {
 			defer wg.Done()
 			var evals int64
+			//rahtm:allow(telemetrybatch): flushes a per-worker local once at worker exit, not per iteration
 			defer func() { ctrSymmetryEvals.Add(evals) }()
 			buf := make([]float64, m.parent.NumChannels())
 			for pi := lo; pi < hi; pi++ {

@@ -146,8 +146,11 @@ type nodeHeap []*node
 
 func (h nodeHeap) Len() int { return len(h) }
 func (h nodeHeap) Less(i, j int) bool {
-	if h[i].lb != h[j].lb {
-		return h[i].lb < h[j].lb
+	if h[i].lb < h[j].lb {
+		return true
+	}
+	if h[i].lb > h[j].lb {
+		return false
 	}
 	return h[i].depth > h[j].depth // deeper first on tie: plunge
 }
@@ -164,6 +167,7 @@ func (h *nodeHeap) Pop() interface{} {
 
 // Solve runs branch and bound and returns the best result found.
 func (p *Problem) Solve(opt Options) *Result {
+	//rahtm:allow(ctxpoll): compatibility wrapper; the root context is the documented default for the non-Ctx API
 	return p.SolveCtx(context.Background(), opt)
 }
 

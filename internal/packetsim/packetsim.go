@@ -57,6 +57,7 @@ type packet struct {
 // Simulate runs graph g mapped by m on topology t until every packet is
 // delivered, returning timing and queueing statistics.
 func Simulate(t *topology.Torus, g *graph.Comm, m topology.Mapping, cfg Config) (*Result, error) {
+	//rahtm:allow(ctxpoll): compatibility wrapper; the root context is the documented default for the non-Ctx API
 	return SimulateCtx(context.Background(), t, g, m, cfg)
 }
 
