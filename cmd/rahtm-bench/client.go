@@ -1,0 +1,230 @@
+package main
+
+// Client mode: -serve-addr points rahtm-bench at a running rahtm-serve
+// daemon and turns it into a load generator. The suite workloads become
+// /solve requests issued from -concurrency goroutines until -requests
+// complete; the report is the client-observed latency distribution
+// (p50/p95/p99) and the daemon's cache-hit rate.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"rahtm"
+)
+
+// serveJSON is the client-mode section of the -json report.
+type serveJSON struct {
+	Addr        string  `json:"addr"`
+	Requests    int     `json:"requests"`
+	Concurrency int     `json:"concurrency"`
+	OK          int     `json:"ok"`
+	Rejected    int     `json:"rejected"` // 429s
+	Errors      int     `json:"errors"`
+	CacheHits   int     `json:"cache_hits"`
+	CacheRate   float64 `json:"cache_hit_rate"`
+	Degraded    int     `json:"degraded"`
+	MeanMS      float64 `json:"mean_ms"`
+	P50MS       float64 `json:"p50_ms"`
+	P95MS       float64 `json:"p95_ms"`
+	P99MS       float64 `json:"p99_ms"`
+	WallMS      float64 `json:"wall_ms"`
+}
+
+// clientOutcome is one request's client-side observation.
+type clientOutcome struct {
+	latency  time.Duration
+	status   int
+	cached   bool
+	degraded bool
+	err      error
+}
+
+// runServeClient load-tests the daemon at addr and reports; it is the whole
+// of rahtm-bench when -serve-addr is set.
+func runServeClient(addr string, ws []*rahtm.Workload, topo []int, conc, requests, concurrency int, deadline time.Duration, jsonOut string) error {
+	base := strings.TrimRight(addr, "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	if requests < 1 {
+		requests = 1
+	}
+	if concurrency < 1 {
+		concurrency = 1
+	}
+
+	// Pre-encode one request body per suite workload; the round-robin over
+	// them gives the daemon a mix of cache hits and misses.
+	bodies := make([][]byte, len(ws))
+	for i, w := range ws {
+		req := rahtm.Request{Workload: w.Name, Topo: topo, Conc: conc}
+		if deadline > 0 {
+			req.DeadlineMS = int64(deadline / time.Millisecond)
+		}
+		b, err := json.Marshal(req)
+		if err != nil {
+			return err
+		}
+		bodies[i] = b
+	}
+
+	fmt.Printf("load-testing %s: %d requests, concurrency %d, %d workloads\n",
+		base, requests, concurrency, len(ws))
+
+	client := &http.Client{}
+	outcomes := make([]clientOutcome, requests)
+	next := make(chan int)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for g := 0; g < concurrency; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				outcomes[i] = oneRequest(client, base, bodies[i%len(bodies)])
+			}
+		}()
+	}
+	for i := 0; i < requests; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	wall := time.Since(start)
+
+	rep := summarize(base, requests, concurrency, outcomes)
+	rep.WallMS = ms(wall)
+	printServeReport(rep, outcomes)
+
+	if jsonOut != "" {
+		var out benchJSON
+		out.Config.Topology = dimsString(topo)
+		out.Config.Procs = product(topo) * conc
+		out.Config.Conc = conc
+		out.Config.Fig = "serve"
+		out.Serve = &rep
+		b, err := json.MarshalIndent(&out, "", "  ")
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(jsonOut, append(b, '\n'), 0o644)
+	}
+	return nil
+}
+
+// oneRequest posts one solve and records the client-side view.
+func oneRequest(client *http.Client, base string, body []byte) clientOutcome {
+	start := time.Now()
+	resp, err := client.Post(base+"/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return clientOutcome{latency: time.Since(start), status: -1, err: err}
+	}
+	defer resp.Body.Close()
+	out := clientOutcome{status: resp.StatusCode}
+	var res rahtm.Result
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+			out.err = err
+		} else {
+			out.cached = res.Cached
+			out.degraded = res.Degraded
+		}
+	}
+	out.latency = time.Since(start)
+	return out
+}
+
+// summarize reduces the outcomes to the serve report row.
+func summarize(addr string, requests, concurrency int, outcomes []clientOutcome) serveJSON {
+	rep := serveJSON{Addr: addr, Requests: requests, Concurrency: concurrency}
+	var lats []float64
+	var sum float64
+	for _, o := range outcomes {
+		switch {
+		case o.status == http.StatusOK && o.err == nil:
+			rep.OK++
+			if o.cached {
+				rep.CacheHits++
+			}
+			if o.degraded {
+				rep.Degraded++
+			}
+			l := ms(o.latency)
+			lats = append(lats, l)
+			sum += l
+		case o.status == http.StatusTooManyRequests:
+			rep.Rejected++
+		default:
+			rep.Errors++
+		}
+	}
+	if rep.OK > 0 {
+		rep.CacheRate = float64(rep.CacheHits) / float64(rep.OK)
+		rep.MeanMS = sum / float64(rep.OK)
+		sort.Float64s(lats)
+		rep.P50MS = percentile(lats, 0.50)
+		rep.P95MS = percentile(lats, 0.95)
+		rep.P99MS = percentile(lats, 0.99)
+	}
+	return rep
+}
+
+// percentile reads q from an ascending sample set (nearest-rank).
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func printServeReport(rep serveJSON, outcomes []clientOutcome) {
+	fmt.Printf("\n%d ok, %d rejected (429), %d errors in %v\n",
+		rep.OK, rep.Rejected, rep.Errors, time.Duration(rep.WallMS*float64(time.Millisecond)).Round(time.Millisecond))
+	if rep.OK == 0 {
+		for _, o := range outcomes {
+			if o.err != nil {
+				fmt.Printf("first error: %v\n", o.err)
+				break
+			}
+		}
+		return
+	}
+	fmt.Printf("latency   : p50 %.1fms  p95 %.1fms  p99 %.1fms  (mean %.1fms)\n",
+		rep.P50MS, rep.P95MS, rep.P99MS, rep.MeanMS)
+	fmt.Printf("cache     : %d/%d hits (%.0f%%)\n", rep.CacheHits, rep.OK, 100*rep.CacheRate)
+	if rep.Degraded > 0 {
+		fmt.Printf("degraded  : %d completions hit their deadline\n", rep.Degraded)
+	}
+}
+
+func dimsString(dims []int) string {
+	parts := make([]string, len(dims))
+	for i, d := range dims {
+		parts[i] = fmt.Sprint(d)
+	}
+	return strings.Join(parts, "x")
+}
+
+func product(dims []int) int {
+	n := 1
+	for _, d := range dims {
+		n *= d
+	}
+	return n
+}

@@ -13,6 +13,11 @@
 //
 // defaults to a laptop-scale configuration (4x4x4 torus, 256 processes,
 // concentration 4) that finishes in seconds.
+//
+// With -serve-addr the command becomes a load-test client for a running
+// rahtm-serve daemon, reporting latency percentiles and the cache-hit rate:
+//
+//	rahtm-bench -serve-addr localhost:8080 -requests 64 -concurrency 8 -json load.json
 package main
 
 import (
@@ -39,7 +44,10 @@ func main() {
 		fig      = flag.String("fig", "all", "which result to regenerate: 8, 9, 10, opt, or all")
 		beam     = flag.Int("beam", 0, "Phase 3 beam width override (0 = paper default 64)")
 		orient   = flag.Int("orient", 0, "Phase 3 orientation cap override (0 = default)")
-		timeout  = flag.Duration("timeout", 0, "time budget for the whole run; on expiry RAHTM degrades to best-so-far mappings")
+		timeout  = flag.Duration("timeout", 0, "time budget for the whole run; on expiry RAHTM degrades to best-so-far mappings (client mode: per-request deadline)")
+		srvAddr  = flag.String("serve-addr", "", "client mode: load-test the rahtm-serve daemon at this address instead of benchmarking locally")
+		srvReqs  = flag.Int("requests", 32, "client mode: total requests to issue")
+		srvConc  = flag.Int("concurrency", 4, "client mode: concurrent request goroutines")
 		workers  = flag.Int("parallelism", 0, "RAHTM scheduler worker goroutines (0 = all CPUs, 1 = sequential); results are identical for every setting")
 		verbose  = flag.Bool("verbose", false, "trace pipeline phases and solver progress to stderr")
 		jsonOut  = flag.String("json", "", "also write machine-readable results (per-case MCL, wall times, pipeline phase stats, counter deltas) to this file")
@@ -68,6 +76,15 @@ func main() {
 	ws, err := rahtm.Suite(*procs)
 	if err != nil {
 		fatal(err)
+	}
+
+	if *srvAddr != "" {
+		dims := make([]int, t.NumDims())
+		for d := range dims {
+			dims[d] = t.Dim(d)
+		}
+		must(runServeClient(*srvAddr, ws, dims, *conc, *srvReqs, *srvConc, *timeout, *jsonOut))
+		return
 	}
 	rahtmMapper := rahtm.Mapper{Parallelism: *workers}
 	if *beam > 0 {
@@ -213,6 +230,8 @@ type benchJSON struct {
 	// Metrics is the end-of-run snapshot of the process-wide telemetry
 	// counters (cumulative across every pipeline in the session).
 	Metrics map[string]int64 `json:"metrics,omitempty"`
+	// Serve is the client-mode (-serve-addr) load-test report.
+	Serve *serveJSON `json:"serve,omitempty"`
 }
 
 // caseJSON is one (workload, mapper) comparison row.

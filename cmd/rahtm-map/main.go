@@ -32,7 +32,7 @@ func main() {
 		conc     = flag.Int("conc", 1, "processes per node")
 		gridSpec = flag.String("grid", "", "logical process grid, e.g. 16x16 (halo/graph workloads)")
 		graphIn  = flag.String("graph", "", "read the communication graph from this file instead")
-		mapper   = flag.String("mapper", "rahtm", "mapper: rahtm, bisection, hilbert, rht, greedy, random, or a permutation spec like ABCDET")
+		mapper   = flag.String("mapper", "rahtm", "mapper: "+strings.Join(rahtm.MapperNames(), ", ")+", or a permutation spec like ABCDET")
 		out      = flag.String("o", "", "output map file (default stdout)")
 		format   = flag.String("format", "ranks", "map file format: ranks (one node per line) or coords (BG/Q tuples)")
 		quiet    = flag.Bool("q", false, "suppress the quality report")
@@ -68,10 +68,11 @@ func main() {
 		fatal(err)
 	}
 
-	m, err := selectMapper(*mapper)
+	factory, err := rahtm.MapperByName(*mapper)
 	if err != nil {
 		fatal(err)
 	}
+	m := factory(topo)
 
 	// Assemble the observer stack: logging, span recording and live
 	// progress compose through a tee. Only the RAHTM pipeline emits
@@ -252,25 +253,6 @@ func buildWorkload(name, graphIn, gridSpec string, procs int) (*rahtm.Workload, 
 		return nil, fmt.Errorf("need -workload or -graph")
 	}
 	return nil, fmt.Errorf("unknown workload %q", name)
-}
-
-func selectMapper(name string) (rahtm.ProcMapper, error) {
-	switch strings.ToLower(name) {
-	case "rahtm":
-		return rahtm.Mapper{}, nil
-	case "bisection":
-		return rahtm.NewRecursiveBisection(), nil
-	case "hilbert":
-		return rahtm.NewHilbert(), nil
-	case "rht":
-		return rahtm.NewRHT(), nil
-	case "greedy":
-		return rahtm.NewGreedyHopBytes(), nil
-	case "random":
-		return rahtm.NewRandom(1), nil
-	}
-	// Anything else is a permutation spec like ABCDET.
-	return rahtm.NewPermutation(strings.ToUpper(name)), nil
 }
 
 func parseDims(spec string) ([]int, error) {

@@ -2,6 +2,8 @@ package main
 
 import (
 	"testing"
+
+	"rahtm"
 )
 
 func TestParseDims(t *testing.T) {
@@ -15,13 +17,14 @@ func TestParseDims(t *testing.T) {
 }
 
 func TestSelectMapper(t *testing.T) {
+	topo := rahtm.NewTorus(4, 4, 4, 4, 4, 2)
 	for _, name := range []string{"rahtm", "hilbert", "rht", "greedy", "random", "ABCDET"} {
-		m, err := selectMapper(name)
+		f, err := rahtm.MapperByName(name)
 		if err != nil {
-			t.Fatalf("selectMapper(%q): %v", name, err)
+			t.Fatalf("MapperByName(%q): %v", name, err)
 		}
-		if m == nil {
-			t.Fatalf("selectMapper(%q) returned nil", name)
+		if f(topo) == nil {
+			t.Fatalf("MapperByName(%q) factory returned nil", name)
 		}
 	}
 }

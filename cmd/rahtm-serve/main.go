@@ -1,0 +1,86 @@
+// Command rahtm-serve runs the mapping-as-a-service daemon: an HTTP/JSON
+// server accepting rahtm.Request bodies on POST /solve and answering with
+// rahtm.Result, backed by a bounded solve queue, per-request deadlines with
+// degrade-on-expiry semantics, and a content-addressed result cache.
+//
+//	rahtm-serve -addr :8080 -workers 2 -queue 64 -cache 1024
+//
+//	curl -s localhost:8080/solve -d '{"workload":"CG","topo":[4,4,4],"conc":4}'
+//	curl -s localhost:8080/healthz
+//	curl -s localhost:8080/metrics
+//
+// SIGINT/SIGTERM drains gracefully: admission stops, queued and in-flight
+// solves finish (up to -drain), then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rahtm/internal/serve"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 2, "concurrent solves")
+		queue   = flag.Int("queue", 64, "admission queue depth beyond in-flight solves (overflow gets 429)")
+		cacheN  = flag.Int("cache", 1024, "content-addressed result cache entries (negative disables)")
+		maxDL   = flag.Duration("max-deadline", 2*time.Minute, "cap on per-request solve budgets (0 = uncapped)")
+		maxPar  = flag.Int("max-parallelism", 0, "cap on per-solve pipeline workers (0 = as requested)")
+		maxBody = flag.Int64("max-body", 16<<20, "request body size limit, bytes")
+		drain   = flag.Duration("drain", 30*time.Second, "graceful-shutdown grace for queued and in-flight solves")
+	)
+	flag.Parse()
+
+	srv := serve.New(context.Background(), serve.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheEntries:   *cacheN,
+		MaxDeadline:    *maxDL,
+		MaxParallelism: *maxPar,
+		MaxBodyBytes:   *maxBody,
+	})
+	httpSrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "rahtm-serve: listening on http://%s (POST /solve, GET /healthz, GET /metrics)\n", ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintf(os.Stderr, "rahtm-serve: draining (grace %v)\n", *drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "rahtm-serve: drain grace expired; in-flight solves canceled\n")
+	}
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "rahtm-serve: http shutdown: %v\n", err)
+	}
+	fmt.Fprintln(os.Stderr, "rahtm-serve: stopped")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rahtm-serve:", err)
+	os.Exit(1)
+}

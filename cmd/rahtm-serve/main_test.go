@@ -1,0 +1,99 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"rahtm"
+	"rahtm/internal/serve"
+	"rahtm/internal/telemetry"
+)
+
+// TestEndToEnd drives the daemon's full handler stack the way a client
+// would: two identical requests where the second is served from the
+// content-addressed cache (verified through the telemetry counters), and a
+// short-deadline request that comes back as a valid mapping flagged
+// degraded rather than an error.
+func TestEndToEnd(t *testing.T) {
+	srv := serve.New(context.Background(), serve.Config{Workers: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+
+	post := func(body string) (*http.Response, *rahtm.Result) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/solve", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		var res rahtm.Result
+		if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+			t.Fatal(err)
+		}
+		return resp, &res
+	}
+
+	const req = `{"workload":"CG","topo":[4,4,4],"conc":4,"mapper":"rahtm"}`
+	before := telemetry.Default.Snapshot()
+
+	_, first := post(req)
+	if first.Cached {
+		t.Fatal("first request claimed to be cached")
+	}
+	if len(first.Mapping) != 256 {
+		t.Fatalf("mapping covers %d processes, want 256", len(first.Mapping))
+	}
+
+	_, second := post(req)
+	if !second.Cached {
+		t.Fatal("identical second request was not served from the cache")
+	}
+	if first.MCL != second.MCL {
+		t.Fatalf("cached MCL %v differs from fresh %v", second.MCL, first.MCL)
+	}
+
+	d := telemetry.Default.Snapshot().Sub(before)
+	if hits := d.Counter(telemetry.CtrServeCacheHits); hits != 1 {
+		t.Errorf("cache-hit counter delta %d, want 1", hits)
+	}
+	if misses := d.Counter(telemetry.CtrServeCacheMisses); misses != 1 {
+		t.Errorf("cache-miss counter delta %d, want 1", misses)
+	}
+
+	// Short deadline: valid mapping, degraded flag, 200 — not an error. A
+	// different workload, because the CG problem above is now cached and
+	// deadlines are excluded from the cache key: a rushed request for a
+	// cached problem would (rightly) get the full-quality cached answer.
+	_, rushed := post(`{"workload":"BT","topo":[4,4,4],"conc":4,"deadline_ms":1}`)
+	if !rushed.Degraded {
+		t.Fatal("1ms-deadline request did not report degraded")
+	}
+	if len(rushed.Mapping) != 256 {
+		t.Fatalf("degraded mapping covers %d processes, want 256", len(rushed.Mapping))
+	}
+	perNode := make(map[int]int)
+	for _, n := range rushed.Mapping {
+		perNode[n]++
+	}
+	for n, c := range perNode {
+		if c != 4 {
+			t.Fatalf("degraded mapping put %d processes on node %d, want 4", c, n)
+		}
+	}
+	if dg := telemetry.Default.Snapshot().Sub(before).Counter(telemetry.CtrServeDegraded); dg < 1 {
+		t.Errorf("degraded counter delta %d, want >= 1", dg)
+	}
+}

@@ -53,10 +53,10 @@ func main() {
 	case *mapFile != "":
 		mapping, err = readMapFileTopo(*mapFile, topo)
 	case *mapper != "":
-		var m rahtm.ProcMapper
-		m, err = selectMapper(*mapper)
+		var factory rahtm.MapperFactory
+		factory, err = rahtm.MapperByName(*mapper)
 		if err == nil {
-			mapping, err = m.MapProcs(w, topo, *conc)
+			mapping, err = factory(topo).MapProcs(w, topo, *conc)
 		}
 	default:
 		err = fmt.Errorf("need -map or -mapper")
@@ -112,22 +112,6 @@ func buildWorkload(name, gridSpec string, procs int) (*rahtm.Workload, error) {
 		return rahtm.RandomNeighbors(procs, 4, 10, 1), nil
 	}
 	return nil, fmt.Errorf("unknown workload %q", name)
-}
-
-func selectMapper(name string) (rahtm.ProcMapper, error) {
-	switch strings.ToLower(name) {
-	case "rahtm":
-		return rahtm.Mapper{}, nil
-	case "hilbert":
-		return rahtm.NewHilbert(), nil
-	case "rht":
-		return rahtm.NewRHT(), nil
-	case "greedy":
-		return rahtm.NewGreedyHopBytes(), nil
-	case "random":
-		return rahtm.NewRandom(1), nil
-	}
-	return rahtm.NewPermutation(strings.ToUpper(name)), nil
 }
 
 // readMapFile reads either map-file format (node ranks, or BG/Q-style

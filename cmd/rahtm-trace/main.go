@@ -4,25 +4,39 @@
 //	rahtm-trace -in app.profile -stats           # volumes, degree, partners
 //	rahtm-trace -in app.profile -out comm.txt    # expand to a plain graph
 //	rahtm-trace -graph comm.txt -profile out.pr  # wrap a graph as a profile
+//
+// With -request the profile becomes a ready-to-POST rahtm-serve request:
+// a rahtm.Request JSON with the communication graph inlined,
+//
+//	rahtm-trace -in app.profile -topo 4x4x4 -conc 4 -request req.json
+//	curl -s localhost:8080/solve -d @req.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 
 	"rahtm"
 )
 
 func main() {
 	var (
-		in      = flag.String("in", "", "input profile file")
-		graphIn = flag.String("graph", "", "input plain graph file (instead of -in)")
-		out     = flag.String("out", "", "write the expanded communication graph here")
-		profOut = flag.String("profile", "", "write a profile here (for -graph input)")
-		stats   = flag.Bool("stats", true, "print traffic statistics")
-		report  = flag.Bool("report", false, "print the telemetry counter report (profile expansion volume) to stderr")
+		in       = flag.String("in", "", "input profile file")
+		graphIn  = flag.String("graph", "", "input plain graph file (instead of -in)")
+		out      = flag.String("out", "", "write the expanded communication graph here")
+		profOut  = flag.String("profile", "", "write a profile here (for -graph input)")
+		reqOut   = flag.String("request", "", "write a rahtm-serve request JSON (inlined graph) here; needs -topo")
+		topoSpec = flag.String("topo", "", "torus dimensions for -request, e.g. 4x4x4")
+		conc     = flag.Int("conc", 1, "processes per node for -request")
+		mapper   = flag.String("mapper", "", "mapper name for -request (empty = rahtm)")
+		deadline = flag.Int64("deadline-ms", 0, "solve budget in milliseconds for -request (0 = none)")
+		stats    = flag.Bool("stats", true, "print traffic statistics")
+		report   = flag.Bool("report", false, "print the telemetry counter report (profile expansion volume) to stderr")
 	)
 	flag.Parse()
 
@@ -85,11 +99,62 @@ func main() {
 		}
 	}
 
+	if *reqOut != "" {
+		if err := writeRequest(*reqOut, g, *topoSpec, *conc, *mapper, *deadline); err != nil {
+			fatal(err)
+		}
+	}
+
 	if *report {
 		if err := rahtm.WriteTelemetryReport(os.Stderr, nil); err != nil {
 			fatal(err)
 		}
 	}
+}
+
+// writeRequest emits the graph as a rahtm.Request JSON ready to POST to a
+// rahtm-serve daemon's /solve endpoint.
+func writeRequest(path string, g *rahtm.Comm, topoSpec string, conc int, mapper string, deadlineMS int64) error {
+	if topoSpec == "" {
+		return fmt.Errorf("-request needs -topo (torus dimensions, e.g. 4x4x4)")
+	}
+	dims, err := parseDims(topoSpec)
+	if err != nil {
+		return err
+	}
+	var inline strings.Builder
+	if _, err := g.WriteTo(&inline); err != nil {
+		return err
+	}
+	req := rahtm.Request{
+		Graph:      inline.String(),
+		Topo:       dims,
+		Conc:       conc,
+		Mapper:     mapper,
+		DeadlineMS: deadlineMS,
+	}
+	// Validate locally so a bad request dies here, not at the daemon.
+	if _, _, err := req.Materialize(); err != nil {
+		return err
+	}
+	b, err := json.MarshalIndent(req, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+func parseDims(spec string) ([]int, error) {
+	parts := strings.Split(strings.ToLower(strings.TrimSpace(spec)), "x")
+	dims := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad dimension spec %q", spec)
+		}
+		dims = append(dims, v)
+	}
+	return dims, nil
 }
 
 func printStats(g *rahtm.Comm) {

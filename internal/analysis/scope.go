@@ -14,7 +14,9 @@ var (
 
 	// solverPkgs contain the iterative solvers whose ...Ctx entry
 	// points promise to poll cancellation within bounded iterations.
-	solverPkgs = set("lp", "milp", "hiermap", "merge")
+	// serve is held to the same bar: its workers run under per-request
+	// contexts and any retry/wait loop must observe them.
+	solverPkgs = set("lp", "milp", "hiermap", "merge", "serve")
 
 	// hotPkgs are on the pipeline's per-flow / per-node hot paths and
 	// must keep telemetry inside the 2% overhead budget by batching

@@ -1,0 +1,375 @@
+// Package serve implements rahtm-serve: a long-running mapping-as-a-service
+// daemon over the unified rahtm.Request/rahtm.Result API.
+//
+// Requests enter through POST /solve as JSON, pass admission control (a
+// bounded queue; overflow is answered 429 with Retry-After), wait for one
+// of a fixed pool of solver workers, and run under a per-request context
+// deadline with the pipeline's cancel/degrade semantics: expired budgets
+// return the best valid mapping found so far, flagged "degraded". Finished
+// complete (non-degraded) results land in a content-addressed LRU keyed by
+// the request's structural hash, so identical subproblems across requests
+// hit the cache the way identical siblings do within a run.
+//
+// The daemon also serves GET /healthz (liveness + queue state) and mounts
+// the existing telemetry endpoint (GET /metrics, GET /debug/vars) on the
+// same mux; per-request counters (queue wait, cache hit/miss, degraded
+// completions, rejections) land in the process-wide telemetry registry.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rahtm"
+	"rahtm/internal/telemetry"
+)
+
+// Per-request counters on the process-wide registry. Serving is not a hot
+// loop — one update per request — so plain Adds are within the telemetry
+// budget.
+var (
+	ctrRequests    = telemetry.Default.Counter(telemetry.CtrServeRequests)
+	ctrCacheHits   = telemetry.Default.Counter(telemetry.CtrServeCacheHits)
+	ctrCacheMisses = telemetry.Default.Counter(telemetry.CtrServeCacheMisses)
+	ctrRejected    = telemetry.Default.Counter(telemetry.CtrServeRejected)
+	ctrDegraded    = telemetry.Default.Counter(telemetry.CtrServeDegraded)
+	ctrErrors      = telemetry.Default.Counter(telemetry.CtrServeErrors)
+	histQueueWait  = telemetry.Default.Histogram(telemetry.HistServeQueueWait, telemetry.ServeLatencyBounds)
+	histLatency    = telemetry.Default.Histogram(telemetry.HistServeLatency, telemetry.ServeLatencyBounds)
+)
+
+// Config tunes the daemon. The zero value serves with 2 solver workers, a
+// 64-deep queue, and a 1024-entry result cache.
+type Config struct {
+	// Workers is the number of concurrent solves (0 = 2). Each solve may
+	// itself fan out on the pipeline's worker pool; see MaxParallelism.
+	Workers int
+	// QueueDepth bounds how many admitted requests may wait for a worker
+	// (0 = 64). Beyond Workers + QueueDepth, requests are rejected with
+	// 429 and a Retry-After hint.
+	QueueDepth int
+	// CacheEntries bounds the content-addressed result cache (0 = 1024,
+	// negative disables caching).
+	CacheEntries int
+	// MaxDeadline caps (and, when a request carries none, supplies) the
+	// per-request solve budget. 0 leaves request deadlines as sent and
+	// unbudgeted requests unbounded.
+	MaxDeadline time.Duration
+	// MaxParallelism caps the pipeline worker goroutines of each solve
+	// (0 = leave requests as sent, where 0 means all CPUs). Daemons
+	// running several workers set this to keep one request from
+	// monopolizing the machine.
+	MaxParallelism int
+	// MaxBodyBytes bounds the request body (0 = 16 MiB).
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 1024
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 16 << 20
+	}
+	return c
+}
+
+// job is one admitted request waiting for (or being solved by) a worker.
+type job struct {
+	req      rahtm.Request
+	key      string
+	ctx      context.Context // request-scoped (canceled when the client goes away)
+	enqueued time.Time
+	done     chan struct{} // closed by the worker when res/err are set
+	res      *rahtm.Result
+	err      error
+}
+
+// Server is the daemon: handler stack, solve queue, worker pool and result
+// cache. Construct with New, expose Handler on an http.Server, and stop
+// with Shutdown.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	cache *cache
+
+	queue    chan *job
+	workers  sync.WaitGroup
+	inflight atomic.Int64
+
+	mu     sync.Mutex // guards closed and the queue close
+	closed bool
+
+	baseCtx    context.Context // hard-stop signal for in-flight solves
+	baseCancel context.CancelFunc
+}
+
+// New builds a Server and starts its worker pool. ctx is the hard-stop
+// parent of every solve: canceling it aborts in-flight work outright
+// (Shutdown does this itself after its drain grace expires, so daemons
+// normally pass a background context and rely on Shutdown).
+func New(ctx context.Context, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		mux:   http.NewServeMux(),
+		cache: newCache(cfg.CacheEntries),
+		queue: make(chan *job, cfg.QueueDepth),
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(ctx)
+	s.mux.HandleFunc("/solve", s.handleSolve)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	telemetry.Mount(s.mux, nil, nil)
+	s.workers.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Handler returns the daemon's HTTP handler (POST /solve, GET /healthz,
+// GET /metrics, GET /debug/vars).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// CacheLen returns the number of cached results.
+func (s *Server) CacheLen() int { return s.cache.len() }
+
+// Shutdown drains the daemon gracefully: admission stops immediately (new
+// requests get 503), queued and in-flight solves run to completion, and
+// their handlers deliver responses. When ctx expires before the drain
+// finishes, the remaining solves are hard-canceled and awaited; the
+// corresponding requests fail with 503. Safe to call more than once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	drained := make(chan struct{})
+	go func() {
+		s.workers.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		s.baseCancel()
+		<-drained
+		return ctx.Err()
+	}
+}
+
+// admit enqueues a job unless the daemon is draining (ok=false,
+// accepting=false) or the queue is full (ok=false, accepting=true).
+func (s *Server) admit(j *job) (ok, accepting bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false, false
+	}
+	select {
+	case s.queue <- j:
+		return true, true
+	default:
+		return false, true
+	}
+}
+
+// worker pulls admitted jobs until the queue closes on drain.
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for j := range s.queue {
+		s.inflight.Add(1)
+		histQueueWait.Observe(float64(time.Since(j.enqueued)) / float64(time.Millisecond))
+		if j.ctx.Err() != nil {
+			// The client went away while the job was queued; don't
+			// burn a solve on an answer nobody reads.
+			j.err = j.ctx.Err()
+		} else {
+			j.res, j.err = s.solve(j)
+		}
+		close(j.done)
+		s.inflight.Add(-1)
+	}
+}
+
+// solve runs one job under the merged request/daemon lifetime.
+func (s *Server) solve(j *job) (*rahtm.Result, error) {
+	jctx, cancel := context.WithCancel(j.ctx)
+	defer cancel()
+	stop := context.AfterFunc(s.baseCtx, cancel)
+	defer stop()
+	res, err := rahtm.Solve(jctx, j.req)
+	if err != nil {
+		ctrErrors.Inc()
+		return nil, err
+	}
+	res.CacheKey = j.key
+	if res.Degraded {
+		// A degraded mapping is valid but deadline-shaped; caching it
+		// would serve truncated searches to requests with roomier
+		// budgets. Count it and let it through uncached.
+		ctrDegraded.Inc()
+	} else {
+		s.cache.put(j.key, res)
+	}
+	return res, nil
+}
+
+// clampRequest applies the daemon's resource ceilings to a wire request.
+func (s *Server) clampRequest(req *rahtm.Request) {
+	if max := s.cfg.MaxDeadline; max > 0 {
+		maxMS := int64(max / time.Millisecond)
+		if req.DeadlineMS <= 0 || req.DeadlineMS > maxMS {
+			req.DeadlineMS = maxMS
+		}
+	}
+	if max := s.cfg.MaxParallelism; max > 0 {
+		if req.Parallelism <= 0 || req.Parallelism > max {
+			req.Parallelism = max
+		}
+	}
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST a rahtm.Request JSON to /solve")
+		return
+	}
+	start := time.Now()
+	ctrRequests.Inc()
+	var req rahtm.Request
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if _, _, err := req.Materialize(); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if name := req.Mapper; name != "" {
+		// Resolve the mapper eagerly so an unknown name is a cheap 400
+		// (typed rahtm.ErrUnknownMapper) instead of a consumed queue slot.
+		if _, err := rahtm.MapperByName(name); err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	s.clampRequest(&req)
+	key, err := req.Key()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	if res, ok := s.cache.get(key); ok {
+		ctrCacheHits.Inc()
+		res.Cached = true
+		writeResult(w, res, start)
+		return
+	}
+	ctrCacheMisses.Inc()
+
+	j := &job{req: req, key: key, ctx: r.Context(), enqueued: time.Now(), done: make(chan struct{})}
+	ok, accepting := s.admit(j)
+	if !accepting {
+		httpError(w, http.StatusServiceUnavailable, "draining: the daemon is shutting down")
+		return
+	}
+	if !ok {
+		ctrRejected.Inc()
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		httpError(w, http.StatusTooManyRequests,
+			"queue full (%d waiting, %d solving): retry later", s.cfg.QueueDepth, s.cfg.Workers)
+		return
+	}
+
+	select {
+	case <-j.done:
+	case <-r.Context().Done():
+		// The client is gone; the worker notices through j.ctx and the
+		// response writer is dead anyway.
+		return
+	}
+	if j.err != nil {
+		if errors.Is(j.err, context.Canceled) {
+			httpError(w, http.StatusServiceUnavailable, "solve canceled: %v", j.err)
+		} else {
+			httpError(w, http.StatusBadRequest, "solve failed: %v", j.err)
+		}
+		return
+	}
+	writeResult(w, j.res, start)
+}
+
+// retryAfterSeconds estimates when a rejected client should try again: the
+// mean observed solve latency times the queue it would sit behind, floored
+// at one second.
+func (s *Server) retryAfterSeconds() int {
+	n, sum := histLatency.Count(), histLatency.Sum()
+	if n == 0 {
+		return 1
+	}
+	meanMS := sum / float64(n)
+	secs := int(meanMS*float64(s.cfg.QueueDepth)/float64(s.cfg.Workers)) / 1000
+	if secs < 1 {
+		return 1
+	}
+	if secs > 60 {
+		return 60
+	}
+	return secs
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.closed
+	s.mu.Unlock()
+	status := "ok"
+	code := http.StatusOK
+	if draining {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"status":   status,
+		"queue":    len(s.queue),
+		"inflight": s.inflight.Load(),
+		"workers":  s.cfg.Workers,
+		"cached":   s.cache.len(),
+	})
+}
+
+// writeResult delivers a Result and records the request latency.
+func writeResult(w http.ResponseWriter, res *rahtm.Result, start time.Time) {
+	histLatency.Observe(float64(time.Since(start)) / float64(time.Millisecond))
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(res)
+}
+
+// httpError answers with a JSON error body.
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,519 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rahtm"
+	"rahtm/internal/telemetry"
+)
+
+// newTestServer builds a Server plus an httptest front end.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(context.Background(), cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	return s, ts
+}
+
+func postSolve(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url+"/solve", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /solve: %v", err)
+	}
+	defer resp.Body.Close()
+	return resp, []byte(readAll(t, resp))
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return sb.String()
+}
+
+func decodeResult(t *testing.T, body []byte) *rahtm.Result {
+	t.Helper()
+	var res rahtm.Result
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatalf("decoding result: %v\nbody: %s", err, body)
+	}
+	return &res
+}
+
+const cgRequest = `{"workload":"CG","topo":[4,4],"conc":1,"mapper":"rahtm"}`
+
+func TestSolveHappyPath(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := postSolve(t, ts.URL, cgRequest)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, body %s", resp.StatusCode, body)
+	}
+	res := decodeResult(t, body)
+	if len(res.Mapping) != 16 {
+		t.Fatalf("mapping covers %d processes, want 16", len(res.Mapping))
+	}
+	if res.MCL <= 0 {
+		t.Errorf("MCL = %v, want > 0", res.MCL)
+	}
+	if res.Mapper != "RAHTM" {
+		t.Errorf("mapper = %q, want RAHTM", res.Mapper)
+	}
+	if res.Degraded {
+		t.Error("unbudgeted solve reported degraded")
+	}
+	if res.CacheKey == "" {
+		t.Error("result carries no cache key")
+	}
+	seen := make(map[int]bool)
+	for _, n := range res.Mapping {
+		if n < 0 || n >= 16 || seen[n] {
+			t.Fatalf("mapping is not a permutation of nodes: %v", res.Mapping)
+		}
+		seen[n] = true
+	}
+}
+
+func TestSolveBaselineMapper(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := postSolve(t, ts.URL, `{"workload":"BT","topo":[4,4],"mapper":"hilbert"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, body %s", resp.StatusCode, body)
+	}
+	res := decodeResult(t, body)
+	if res.Mapper != "Hilbert" {
+		t.Errorf("mapper = %q, want Hilbert", res.Mapper)
+	}
+	if res.Stats != nil {
+		t.Error("baseline mapper reported pipeline stats")
+	}
+}
+
+func TestSolveInlineGraph(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req := `{"graph":"comm 4\n0 1 10\n1 2 10\n2 3 10\n3 0 10\n","topo":[2,2],"mapper":"greedy"}`
+	resp, body := postSolve(t, ts.URL, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, body %s", resp.StatusCode, body)
+	}
+	if res := decodeResult(t, body); len(res.Mapping) != 4 {
+		t.Fatalf("mapping covers %d processes, want 4", len(res.Mapping))
+	}
+}
+
+func TestMalformedRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []struct {
+		name, body string
+	}{
+		{"bad json", `{"workload":`},
+		{"no topology", `{"workload":"CG"}`},
+		{"no workload", `{"topo":[4,4]}`},
+		{"unknown workload", `{"workload":"nope","topo":[4,4]}`},
+		{"unknown mapper", `{"workload":"CG","topo":[4,4],"mapper":"not-a-mapper"}`},
+		{"size mismatch", `{"workload":"CG","procs":64,"topo":[4,4]}`},
+		{"zero dimension", `{"workload":"CG","topo":[4,0]}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := postSolve(t, ts.URL, tc.body)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400; body %s", resp.StatusCode, body)
+			}
+			var e map[string]string
+			if err := json.Unmarshal(body, &e); err != nil || e["error"] == "" {
+				t.Fatalf("error body %s", body)
+			}
+		})
+	}
+	resp, err := http.Get(ts.URL + "/solve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /solve: status %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestDeadlineDegrade(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := postSolve(t, ts.URL, `{"workload":"CG","topo":[4,4,4],"conc":4,"deadline_ms":1}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, body %s", resp.StatusCode, body)
+	}
+	res := decodeResult(t, body)
+	if !res.Degraded {
+		t.Fatal("1ms budget did not degrade the solve")
+	}
+	if len(res.Mapping) != 256 {
+		t.Fatalf("degraded mapping covers %d processes, want 256", len(res.Mapping))
+	}
+	counts := make(map[int]int)
+	for _, n := range res.Mapping {
+		if n < 0 || n >= 64 {
+			t.Fatalf("node %d out of range", n)
+		}
+		counts[n]++
+	}
+	for n, c := range counts {
+		if c != 4 {
+			t.Fatalf("node %d holds %d processes, want 4", n, c)
+		}
+	}
+}
+
+// blockingMapper parks until released (or canceled), so tests can hold
+// workers busy deterministically. Registered through the public registry —
+// which also exercises RegisterMapper.
+type blockingMapper struct {
+	release chan struct{}
+}
+
+func (b blockingMapper) Name() string { return "block" }
+
+func (b blockingMapper) MapProcs(w *rahtm.Workload, t *rahtm.Torus, conc int) (rahtm.Mapping, error) {
+	return b.MapProcsCtx(context.Background(), w, t, conc)
+}
+
+func (b blockingMapper) MapProcsCtx(ctx context.Context, w *rahtm.Workload, t *rahtm.Torus, conc int) (rahtm.Mapping, error) {
+	select {
+	case <-b.release:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	m := make(rahtm.Mapping, w.Procs())
+	for i := range m {
+		m[i] = i / conc
+	}
+	return m, nil
+}
+
+func TestAdmissionControl429(t *testing.T) {
+	release := make(chan struct{})
+	var once sync.Once
+	unblock := func() { once.Do(func() { close(release) }) }
+	rahtm.RegisterMapper("block", func(*rahtm.Torus) rahtm.ProcMapper {
+		return blockingMapper{release: release}
+	})
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+	t.Cleanup(unblock) // runs before the server cleanup, so drain never hangs
+
+	blockReq := `{"workload":"CG","topo":[4,4],"mapper":"block"}`
+	type reply struct {
+		status int
+		body   string
+	}
+	replies := make(chan reply, 2)
+	// First request occupies the worker, second fills the queue.
+	for i := 0; i < 2; i++ {
+		go func() {
+			resp, err := http.Post(ts.URL+"/solve", "application/json", strings.NewReader(blockReq))
+			if err != nil {
+				replies <- reply{status: -1, body: err.Error()}
+				return
+			}
+			defer resp.Body.Close()
+			replies <- reply{status: resp.StatusCode, body: readAll(t, resp)}
+		}()
+		// Wait until the request is visibly held (in flight or queued).
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			if time.Now().After(deadline) {
+				t.Fatal("request never reached the worker/queue")
+			}
+			resp, err := http.Get(ts.URL + "/healthz")
+			if err != nil {
+				t.Fatal(err)
+			}
+			var h struct {
+				Queue    int `json:"queue"`
+				Inflight int `json:"inflight"`
+			}
+			err = json.NewDecoder(resp.Body).Decode(&h)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if h.Inflight+h.Queue > i {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	prev := telemetry.Default.Snapshot()
+	resp, body := postSolve(t, ts.URL, blockReq)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429; body %s", resp.StatusCode, body)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("429 carries no Retry-After")
+	}
+	if d := telemetry.Default.Snapshot().Sub(prev); d.Counter(telemetry.CtrServeRejected) != 1 {
+		t.Errorf("rejected counter delta = %d, want 1", d.Counter(telemetry.CtrServeRejected))
+	}
+
+	// Releasing the mapper lets the held requests complete normally.
+	unblock()
+	for i := 0; i < 2; i++ {
+		r := <-replies
+		if r.status != http.StatusOK {
+			t.Fatalf("held request finished with %d: %s", r.status, r.body)
+		}
+	}
+}
+
+func TestCacheHitVsMiss(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+
+	prev := telemetry.Default.Snapshot()
+	resp1, body1 := postSolve(t, ts.URL, cgRequest)
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("first request: status %d, body %s", resp1.StatusCode, body1)
+	}
+	first := decodeResult(t, body1)
+	if first.Cached {
+		t.Fatal("first request reported cached")
+	}
+
+	resp2, body2 := postSolve(t, ts.URL, cgRequest)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("second request: status %d, body %s", resp2.StatusCode, body2)
+	}
+	second := decodeResult(t, body2)
+	if !second.Cached {
+		t.Fatal("identical second request missed the cache")
+	}
+	if fmt.Sprint(first.Mapping) != fmt.Sprint(second.Mapping) {
+		t.Fatalf("cached mapping differs:\n%v\n%v", first.Mapping, second.Mapping)
+	}
+	if first.MCL != second.MCL {
+		t.Fatalf("cached MCL %v != fresh MCL %v", second.MCL, first.MCL)
+	}
+
+	d := telemetry.Default.Snapshot().Sub(prev)
+	if hits := d.Counter(telemetry.CtrServeCacheHits); hits != 1 {
+		t.Errorf("cache hit delta = %d, want 1", hits)
+	}
+	if misses := d.Counter(telemetry.CtrServeCacheMisses); misses != 1 {
+		t.Errorf("cache miss delta = %d, want 1", misses)
+	}
+	if s.CacheLen() != 1 {
+		t.Errorf("cache holds %d entries, want 1", s.CacheLen())
+	}
+
+	// A different mapper is a different key: it must miss.
+	resp3, body3 := postSolve(t, ts.URL, `{"workload":"CG","topo":[4,4],"conc":1,"mapper":"hilbert"}`)
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("third request: status %d, body %s", resp3.StatusCode, body3)
+	}
+	if third := decodeResult(t, body3); third.Cached {
+		t.Error("different mapper hit the cache")
+	}
+}
+
+func TestDegradedResultsAreNotCached(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req := `{"workload":"CG","topo":[4,4,4],"conc":4,"deadline_ms":1}`
+	prev := telemetry.Default.Snapshot()
+	resp, body := postSolve(t, ts.URL, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, body %s", resp.StatusCode, body)
+	}
+	if !decodeResult(t, body).Degraded {
+		t.Skip("budget did not degrade on this machine")
+	}
+	resp2, body2 := postSolve(t, ts.URL, req)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, body %s", resp2.StatusCode, body2)
+	}
+	if decodeResult(t, body2).Cached {
+		t.Fatal("degraded result was served from the cache")
+	}
+	d := telemetry.Default.Snapshot().Sub(prev)
+	if d.Counter(telemetry.CtrServeDegraded) < 1 {
+		t.Errorf("degraded counter delta = %d, want >= 1", d.Counter(telemetry.CtrServeDegraded))
+	}
+}
+
+func TestGracefulShutdown(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	// Park one request so the drain has something to wait for.
+	release := make(chan struct{})
+	var once sync.Once
+	unblock := func() { once.Do(func() { close(release) }) }
+	t.Cleanup(unblock)
+	rahtm.RegisterMapper("block-drain", func(*rahtm.Torus) rahtm.ProcMapper {
+		return blockingMapper{release: release}
+	})
+	done := make(chan *http.Response, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/solve", "application/json",
+			strings.NewReader(`{"workload":"CG","topo":[4,4],"mapper":"block-drain"}`))
+		if err == nil {
+			resp.Body.Close()
+		}
+		done <- resp
+	}()
+	waitInflight(t, ts.URL, 1)
+
+	shut := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shut <- s.Shutdown(ctx)
+	}()
+	// Health flips to draining; polling /healthz never consumes queue space,
+	// so the parked worker can't wedge this loop.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("healthz never reported draining")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Admission is closed: new solves are refused outright.
+	if resp, body := postSolve(t, ts.URL, cgRequest); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("admission still open during drain: %d %s", resp.StatusCode, body)
+	}
+	unblock()
+	if err := <-shut; err != nil {
+		t.Fatalf("drain failed: %v", err)
+	}
+	if resp := <-done; resp != nil && resp.StatusCode != http.StatusOK {
+		t.Fatalf("in-flight request finished with %d during drain", resp.StatusCode)
+	}
+}
+
+func waitInflight(t *testing.T, url string, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(url + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var h struct {
+			Inflight int `json:"inflight"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&h)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.Inflight >= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("inflight never reached %d", want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestHealthzAndMetricsEndpoints(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz status %d", resp.StatusCode)
+	}
+	var h map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h["status"] != "ok" {
+		t.Fatalf("healthz status %v", h["status"])
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	if mresp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", mresp.StatusCode)
+	}
+	var live struct {
+		Metrics telemetry.Snapshot `json:"metrics"`
+	}
+	if err := json.NewDecoder(mresp.Body).Decode(&live); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := live.Metrics.Counters[telemetry.CtrServeRequests]; !ok {
+		t.Error("/metrics does not expose the serve request counter")
+	}
+}
+
+// TestConcurrentRequests hammers the daemon from many goroutines; run
+// under -race it shakes out data races across the queue, cache, and
+// telemetry paths.
+func TestConcurrentRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 4, QueueDepth: 256, MaxParallelism: 1})
+	reqs := []string{
+		cgRequest,
+		`{"workload":"BT","topo":[4,4],"mapper":"hilbert"}`,
+		`{"workload":"SP","topo":[4,4],"mapper":"greedy"}`,
+		`{"workload":"CG","topo":[4,4],"mapper":"ABT"}`,
+		`{"workload":"CG","topo":[4,4],"deadline_ms":1}`,
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				body := reqs[(g+i)%len(reqs)]
+				resp, err := http.Post(ts.URL+"/solve", "application/json", strings.NewReader(body))
+				if err != nil {
+					errs <- err.Error()
+					continue
+				}
+				out := readAll(t, resp)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Sprintf("status %d: %s", resp.StatusCode, out)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Errorf("concurrent request failed: %s", e)
+	}
+}

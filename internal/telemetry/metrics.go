@@ -56,7 +56,21 @@ const (
 	// trace: communication-profile ingestion.
 	CtrTraceP2P   = "trace.p2p.records"
 	CtrTraceColls = "trace.collectives.expanded"
+
+	// serve: the mapping-as-a-service daemon (internal/serve).
+	CtrServeRequests    = "serve.requests"
+	CtrServeCacheHits   = "serve.cache.hits"
+	CtrServeCacheMisses = "serve.cache.misses"
+	CtrServeRejected    = "serve.rejected" // admission-control 429s
+	CtrServeDegraded    = "serve.degraded" // deadline-degraded completions
+	CtrServeErrors      = "serve.errors"   // failed solves
+	HistServeQueueWait  = "serve.queue.wait_ms"
+	HistServeLatency    = "serve.latency_ms"
 )
+
+// ServeLatencyBounds are the millisecond bucket bounds of the daemon's
+// queue-wait and request-latency histograms.
+var ServeLatencyBounds = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000}
 
 // stripes is the cell count of a striped Counter. Local handles are dealt
 // round-robin, so with up to this many concurrent writers each updates its

@@ -57,12 +57,13 @@ func liveSnapshot() LiveSnapshot {
 	return out
 }
 
-// Serve starts a telemetry endpoint on addr (e.g. "localhost:6060" or
-// ":0" for an ephemeral port) reading metrics from reg (nil = Default) and
-// live progress from the progress callback (nil = zero Progress). It
-// returns once the listener is bound; use Server.Addr for the bound
-// address and Server.Close to shut down.
-func Serve(addr string, reg *Registry, progress func() Progress) (*Server, error) {
+// Mount registers the telemetry handlers (/metrics and /debug/vars) on
+// mux, reading metrics from reg (nil = Default) and live progress from the
+// progress callback (nil = zero Progress). It lets an application server —
+// the rahtm-serve daemon — carry the telemetry endpoint on its own mux
+// instead of a second listener. Mount and Serve share the process-wide
+// published expvar; the most recent call wins its sources.
+func Mount(mux *http.ServeMux, reg *Registry, progress func() Progress) {
 	if reg == nil {
 		reg = Default
 	}
@@ -72,11 +73,6 @@ func Serve(addr string, reg *Registry, progress func() Progress) (*Server, error
 			return liveSnapshot()
 		}))
 	})
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
-	}
-	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -84,6 +80,20 @@ func Serve(addr string, reg *Registry, progress func() Progress) (*Server, error
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(liveSnapshot())
 	})
+}
+
+// Serve starts a telemetry endpoint on addr (e.g. "localhost:6060" or
+// ":0" for an ephemeral port) reading metrics from reg (nil = Default) and
+// live progress from the progress callback (nil = zero Progress). It
+// returns once the listener is bound; use Server.Addr for the bound
+// address and Server.Close to shut down.
+func Serve(addr string, reg *Registry, progress func() Progress) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	Mount(mux, reg, progress)
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	s := &Server{ln: ln, srv: srv}
 	go func() { _ = srv.Serve(ln) }()

@@ -8,12 +8,21 @@
 //
 // The central operation maps an MPI-style communication graph onto a torus
 // so as to minimize the maximum channel load (MCL) under minimal adaptive
-// routing:
+// routing. The unified entry point is Solve, which takes a serializable
+// Request and returns a Result with the mapping and its quality metrics —
+// the same types the rahtm-serve daemon speaks over HTTP/JSON:
 //
-//	w, _ := rahtm.BT(1024)                    // NAS BT on 1024 processes
-//	t := rahtm.NewTorus(4, 4, 4)              // 64-node 3-D torus
-//	m, _ := rahtm.Mapper{}.MapProcs(w, t, 16) // 16 processes per node
-//	rep := rahtm.Measure(t, w.Graph, m)       // MCL, hop-bytes, ...
+//	res, _ := rahtm.Solve(ctx, rahtm.Request{
+//		Workload: "BT", Procs: 1024,       // NAS BT on 1024 processes
+//		Topo:     []int{4, 4, 4},          // 64-node 3-D torus
+//		Conc:     16,                      // 16 processes per node
+//	})
+//	_ = res.Mapping                            // rank -> node
+//	_ = res.MCL                                // max channel load
+//
+// Library callers holding Workload/Torus values pass them directly via
+// Request.Work and Request.Torus, or use the Mapper methods, which are thin
+// wrappers over the same path.
 //
 // Observability: pipeline runs emit trace events to an Observer
 // (observer.go), always-on metrics counters snapshot via Metrics(), and
@@ -148,8 +157,18 @@ type Mapper struct {
 // Name implements ProcMapper.
 func (Mapper) Name() string { return "RAHTM" }
 
+// request builds the Solve request equivalent to a legacy method call.
+func (m Mapper) request(w *Workload, t *Torus, conc int) Request {
+	return Request{Work: w, Torus: t, Conc: conc, Config: &m}
+}
+
 // MapProcs implements ProcMapper: it runs clustering, hierarchical MILP
 // mapping and beam merging, returning a process-to-node mapping.
+//
+// Deprecated: MapProcs/MapProcsCtx and Pipeline/PipelineCtx are the legacy
+// split entry points; new code should call Solve with a Request, which
+// subsumes both the context and the configuration (and is what the serving
+// layer speaks). These wrappers remain for compatibility.
 func (m Mapper) MapProcs(w *Workload, t *Torus, conc int) (Mapping, error) {
 	return m.MapProcsCtx(context.Background(), w, t, conc)
 }
@@ -159,18 +178,24 @@ func (m Mapper) MapProcs(w *Workload, t *Torus, conc int) (Mapping, error) {
 // degrades gracefully — the pipeline finishes from the best results found
 // so far and still returns a valid mapping (flagged in the PipelineResult
 // stats, which this method discards; use PipelineCtx to observe it).
+//
+// Deprecated: call Solve with a Request instead; Result.Mapping is this
+// method's return value.
 func (m Mapper) MapProcsCtx(ctx context.Context, w *Workload, t *Torus, conc int) (Mapping, error) {
-	res, err := m.PipelineCtx(ctx, w, t, conc)
+	res, err := solve(ctx, m.request(w, t, conc), false)
 	if err != nil {
 		return nil, err
 	}
-	return res.ProcToNode, nil
+	return res.Mapping, nil
 }
 
 // Pipeline runs the full RAHTM pipeline and returns the detailed result
 // (mapping, node graph, phase statistics). Tori with non-power-of-two
 // dimensions are handled by §III-B partitioning (power-of-two boxes mapped
 // independently after a cut-minimizing split).
+//
+// Deprecated: call Solve with a Request instead; Result.Detail is this
+// method's return value.
 func (m Mapper) Pipeline(w *Workload, t *Torus, conc int) (*PipelineResult, error) {
 	return m.PipelineCtx(context.Background(), w, t, conc)
 }
@@ -178,16 +203,15 @@ func (m Mapper) Pipeline(w *Workload, t *Torus, conc int) (*PipelineResult, erro
 // PipelineCtx is Pipeline under a context. A canceled ctx returns ctx.Err();
 // an expired deadline returns a valid best-effort result with
 // Stats.Degraded set.
+//
+// Deprecated: call Solve with a Request instead; Result.Detail is this
+// method's return value.
 func (m Mapper) PipelineCtx(ctx context.Context, w *Workload, t *Torus, conc int) (*PipelineResult, error) {
-	return core.MapPartitionedCtx(ctx, w.Graph, t, PipelineConfig{
-		Concentration:       conc,
-		GridDims:            w.Grid,
-		Leaf:                m.Leaf,
-		Merge:               m.Merge,
-		DisableSiblingReuse: m.DisableSiblingReuse,
-		Parallelism:         m.Parallelism,
-		Observer:            m.Observer,
-	})
+	res, err := solve(ctx, m.request(w, t, conc), false)
+	if err != nil {
+		return nil, err
+	}
+	return res.Detail, nil
 }
 
 // Baseline mappers (see §IV "Other mappings").
@@ -212,8 +236,19 @@ func NewRandom(seed int64) ProcMapper { return mappers.Random{Seed: seed} }
 // (topology-aware, routing-unaware).
 func NewRecursiveBisection() ProcMapper { return mappers.RecursiveBisection{} }
 
-// DefaultMapper returns the machine default (ABCDET-style) for t.
-func DefaultMapper(t *Torus) ProcMapper { return mappers.Default(t) }
+// DefaultMapper returns the machine default (ABCDET-style) for t — the
+// registry's "default" entry.
+func DefaultMapper(t *Torus) ProcMapper { return mustMapper("default")(t) }
+
+// mustMapper resolves a built-in registry name; the built-ins are always
+// registered, so failure is a programming error.
+func mustMapper(name string) MapperFactory {
+	f, err := MapperByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
 
 // StandardPermutations returns the paper's dimension-permutation baselines
 // generalized to t's dimensionality: the default (ABCDET-style), the T-first
@@ -254,10 +289,13 @@ func StandardPermutations(t *Torus) []ProcMapper {
 // StandardMappers returns the paper's full comparison set for t: the three
 // permutation baselines, Hilbert, RHT, and RAHTM — in Figure 8's order with
 // the default mapping first (it is the baseline everything is normalized
-// to).
+// to). Each entry is built through the mapper registry, so the set stays
+// consistent with what MapperByName serves over the wire.
 func StandardMappers(t *Torus) []ProcMapper {
 	out := StandardPermutations(t)
-	out = append(out, mappers.Hilbert{}, mappers.RHT{}, Mapper{})
+	for _, name := range []string{"hilbert", "rht", "rahtm"} {
+		out = append(out, mustMapper(name)(t))
+	}
 	return out
 }
 
