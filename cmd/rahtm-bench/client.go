@@ -178,10 +178,13 @@ func summarize(addr string, requests, concurrency int, outcomes []clientOutcome)
 	return rep
 }
 
-// percentile reads q from an ascending sample set (nearest-rank).
+// percentile reads q from an ascending sample set (nearest-rank). An empty
+// sample set yields 0, never NaN — the value lands in JSON reports, and
+// encoding/json refuses NaN outright. A single sample is every percentile
+// of itself.
 func percentile(sorted []float64, q float64) float64 {
 	if len(sorted) == 0 {
-		return math.NaN()
+		return 0
 	}
 	i := int(math.Ceil(q*float64(len(sorted)))) - 1
 	if i < 0 {

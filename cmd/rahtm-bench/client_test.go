@@ -1,0 +1,33 @@
+package main
+
+import (
+	"math"
+	"testing"
+)
+
+// TestPercentileSmallSamples pins the degenerate sample sets: empty must
+// yield 0 (a NaN would make the JSON report unencodable), one sample is
+// every percentile of itself, and two samples split at the median.
+func TestPercentileSmallSamples(t *testing.T) {
+	for _, q := range []float64{0, 0.5, 0.95, 0.99, 1} {
+		if got := percentile(nil, q); got != 0 {
+			t.Fatalf("percentile(nil, %v) = %v, want 0", q, got)
+		}
+		if got := percentile([]float64{7.5}, q); got != 7.5 {
+			t.Fatalf("percentile([7.5], %v) = %v, want 7.5", q, got)
+		}
+	}
+	if math.IsNaN(percentile(nil, 0.95)) {
+		t.Fatal("empty percentile is NaN")
+	}
+	two := []float64{1, 9}
+	if got := percentile(two, 0.50); got != 1 {
+		t.Fatalf("p50 of {1,9} = %v, want 1", got)
+	}
+	if got := percentile(two, 0.95); got != 9 {
+		t.Fatalf("p95 of {1,9} = %v, want 9", got)
+	}
+	if got := percentile(two, 0.25); got != 1 {
+		t.Fatalf("p25 of {1,9} = %v, want 1", got)
+	}
+}

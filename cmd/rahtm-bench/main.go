@@ -5,6 +5,7 @@
 //	rahtm-bench -fig 9            # comm/comp fractions    (Figure 9)
 //	rahtm-bench -fig 10           # communication time     (Figure 10)
 //	rahtm-bench -fig opt          # optimization time      (Section V-B)
+//	rahtm-bench -fig scale        # 512/4096/16384 scaling trajectory
 //	rahtm-bench -fig all
 //
 // Scale and topology are adjustable:
@@ -41,7 +42,8 @@ func main() {
 		topoSpec = flag.String("topo", "4x4x4", "torus dimensions, e.g. 4x4x4x4x2")
 		procs    = flag.Int("procs", 256, "number of MPI processes")
 		conc     = flag.Int("conc", 4, "processes per node (concentration factor)")
-		fig      = flag.String("fig", "all", "which result to regenerate: 8, 9, 10, opt, or all")
+		fig      = flag.String("fig", "all", "which result to regenerate: 8, 9, 10, opt, scale, or all")
+		scaleMax = flag.Int("scale-max", 16384, "-fig scale: largest process count of the 512/4096/16384 ladder to run")
 		beam     = flag.Int("beam", 0, "Phase 3 beam width override (0 = paper default 64)")
 		orient   = flag.Int("orient", 0, "Phase 3 orientation cap override (0 = default)")
 		timeout  = flag.Duration("timeout", 0, "time budget for the whole run; on expiry RAHTM degrades to best-so-far mappings (client mode: per-request deadline)")
@@ -155,6 +157,7 @@ func main() {
 	}
 
 	var pipes []pipelineJSON
+	var scale []scaleJSON
 	switch *fig {
 	case "8":
 		must(rahtm.WriteTable(os.Stdout, cs, "exec"))
@@ -164,6 +167,8 @@ func main() {
 		must(rahtm.WriteTable(os.Stdout, cs, "comm"))
 	case "opt":
 		pipes = optimizationTime(ctx, ws, t, *conc, rahtmMapper)
+	case "scale":
+		scale = scaleTrajectory(ctx, rahtmMapper, *scaleMax)
 	case "all":
 		must(rahtm.CommFractionTable(os.Stdout, ws, t, *conc, ms[0], rahtm.Model{}))
 		fmt.Println()
@@ -173,16 +178,16 @@ func main() {
 		fmt.Println()
 		pipes = optimizationTime(ctx, ws, t, *conc, rahtmMapper)
 	default:
-		fatal(fmt.Errorf("unknown -fig %q (want 8, 9, 10, opt or all)", *fig))
+		fatal(fmt.Errorf("unknown -fig %q (want 8, 9, 10, opt, scale or all)", *fig))
 	}
 
 	if *jsonOut != "" {
-		if pipes == nil {
+		if pipes == nil && *fig != "scale" {
 			// The selected figure did not run the pipeline stats pass;
 			// run it silently so the JSON report is complete.
 			pipes = collectPipelineStats(ctx, ws, t, *conc, rahtmMapper)
 		}
-		must(writeJSON(*jsonOut, t, *procs, *conc, *workers, *fig, cs, pipes))
+		must(writeJSON(*jsonOut, t, *procs, *conc, *workers, *fig, cs, pipes, scale))
 	}
 
 	if *traceOut != "" && recorder != nil {
@@ -227,6 +232,9 @@ type benchJSON struct {
 	} `json:"config"`
 	Cases     []caseJSON     `json:"cases,omitempty"`
 	Pipelines []pipelineJSON `json:"pipelines,omitempty"`
+	// Scale is the -fig scale trajectory: one row per rung of the paper's
+	// 512/4096/16384-process ladder.
+	Scale []scaleJSON `json:"scale,omitempty"`
 	// Metrics is the end-of-run snapshot of the process-wide telemetry
 	// counters (cumulative across every pipeline in the session).
 	Metrics map[string]int64 `json:"metrics,omitempty"`
@@ -274,6 +282,8 @@ type pipelineJSON struct {
 	BeamCandidates int64 `json:"beam_candidates"`
 	BeamPruned     int64 `json:"beam_pruned"`
 	SymmetryEvals  int64 `json:"symmetry_evals"`
+	DeltaHits      int64 `json:"delta_hits"`      // merge combos scored sparsely
+	DeltaFallbacks int64 `json:"delta_fallbacks"` // merge combos scored densely
 }
 
 // addMetrics fills the counter-delta columns from a per-run snapshot
@@ -287,6 +297,8 @@ func (p *pipelineJSON) addMetrics(d rahtm.MetricsSnapshot) {
 	p.BeamCandidates = d.Counter("merge.beam.candidates")
 	p.BeamPruned = d.Counter("merge.beam.candidates") - d.Counter("merge.beam.kept")
 	p.SymmetryEvals = d.Counter("merge.symmetry.evals")
+	p.DeltaHits = d.Counter("merge.delta.hits")
+	p.DeltaFallbacks = d.Counter("merge.delta.fallbacks")
 }
 
 func pipelineRow(w *rahtm.Workload, res *rahtm.PipelineResult, err error) pipelineJSON {
@@ -327,7 +339,7 @@ func collectPipelineStats(ctx context.Context, ws []*rahtm.Workload, t *rahtm.To
 	return out
 }
 
-func writeJSON(path string, t *rahtm.Torus, procs, conc, workers int, fig string, cs []*rahtm.Comparison, pipes []pipelineJSON) error {
+func writeJSON(path string, t *rahtm.Torus, procs, conc, workers int, fig string, cs []*rahtm.Comparison, pipes []pipelineJSON, scale []scaleJSON) error {
 	var rep benchJSON
 	rep.Config.Topology = t.String()
 	rep.Config.Procs = procs
@@ -352,12 +364,77 @@ func writeJSON(path string, t *rahtm.Torus, procs, conc, workers int, fig string
 		}
 	}
 	rep.Pipelines = pipes
+	rep.Scale = scale
 	rep.Metrics = rahtm.Metrics().Counters
 	b, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
 		return err
 	}
 	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// scaleJSON is one rung of the -fig scale ladder: the pipeline phase row
+// plus the configuration it ran at and the end-to-end wall time.
+type scaleJSON struct {
+	Procs    int     `json:"procs"`
+	Topology string  `json:"topology"`
+	Conc     int     `json:"conc"`
+	WallMS   float64 `json:"wall_ms"`
+	pipelineJSON
+}
+
+// scaleLadder is the §V scaling ladder: a periodic 2-D halo exchange (the
+// only suite workload whose process grid exists at every rung) on the
+// BG/Q-style 2-ary tori at 512, 4096 and the paper's full 16,384 processes.
+var scaleLadder = []struct {
+	procs, rows, cols int
+	topo              string
+	conc              int
+}{
+	{512, 16, 32, "4x4x4x2", 4},
+	{4096, 64, 64, "4x4x4x4", 16},
+	{16384, 128, 128, "4x4x4x4x2", 32},
+}
+
+// scaleTrajectory runs the ladder up to maxProcs and reports one row per
+// rung. Counter deltas attribute delta-eval hits/fallbacks and solver
+// effort to each rung individually.
+func scaleTrajectory(ctx context.Context, m rahtm.Mapper, maxProcs int) []scaleJSON {
+	fmt.Println("pipeline scaling trajectory (halo-2d)")
+	fmt.Printf("%-7s %-10s %6s %12s %12s %10s %12s\n", "procs", "topology", "conc", "merge", "wall", "mcl", "delta-evals")
+	var out []scaleJSON
+	for _, lvl := range scaleLadder {
+		if lvl.procs > maxProcs {
+			continue
+		}
+		t, err := parseTopo(lvl.topo)
+		if err != nil {
+			fatal(err)
+		}
+		w := rahtm.Halo2D(lvl.rows, lvl.cols, 1)
+		prev := rahtm.Metrics()
+		start := time.Now()
+		res, err := m.PipelineCtx(ctx, w, t, lvl.conc)
+		wall := time.Since(start)
+		row := scaleJSON{
+			Procs:        lvl.procs,
+			Topology:     t.String(),
+			Conc:         lvl.conc,
+			WallMS:       ms(wall),
+			pipelineJSON: pipelineRow(w, res, err),
+		}
+		row.addMetrics(rahtm.Metrics().Sub(prev))
+		out = append(out, row)
+		if err != nil {
+			fmt.Printf("%-7d %-10s %6d  error: %v\n", lvl.procs, lvl.topo, lvl.conc, err)
+			continue
+		}
+		fmt.Printf("%-7d %-10s %6d %12v %12v %10.3f %12d\n",
+			lvl.procs, lvl.topo, lvl.conc,
+			res.Stats.MergeTime.Round(time.Millisecond), wall.Round(time.Millisecond),
+			res.MCL, row.DeltaHits+row.DeltaFallbacks)
+	}
+	return out
 }
 
 // optimizationTime reports RAHTM's offline mapping cost per benchmark

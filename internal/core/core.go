@@ -261,6 +261,12 @@ func MapProcessesCtx(ctx context.Context, proc *graph.Comm, t *topology.Torus, c
 			if lc.Observer == nil {
 				lc.Observer = cfg.Observer
 			}
+			if lc.Parallelism == 0 {
+				// Leftover workers prefetch branch-and-bound relaxations
+				// inside each solve; milp results are parallelism-invariant,
+				// so this never perturbs the mapping.
+				lc.Parallelism = innerParallelism(workers, len(rep))
+			}
 			t0 := time.Now()
 			r, err := hiermap.MapCtx(ctx, locals[rep[gi]], shape, lc)
 			elapsed := time.Since(t0)

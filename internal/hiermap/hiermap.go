@@ -85,6 +85,10 @@ type Config struct {
 	AnnealRestarts int
 	// Seed makes annealing deterministic.
 	Seed int64
+	// Parallelism is passed to the branch-and-bound solver's speculative
+	// prefetch mode (<= 1: sequential). Any setting yields the identical
+	// mapping — milp results are bitwise parallelism-invariant.
+	Parallelism int
 	// Observer receives annealing samples and LP iteration counts; nil is
 	// a no-op.
 	Observer obs.Observer

@@ -177,9 +177,10 @@ func solveMILP(ctx context.Context, g *graph.Comm, cube *topology.Torus, shape [
 		deadline = d
 	}
 	res := prob.SolveCtx(ctx, milp.Options{
-		Deadline:  deadline,
-		MaxNodes:  cfg.MILPMaxNodes,
-		Incumbent: incumbent,
+		Deadline:    deadline,
+		MaxNodes:    cfg.MILPMaxNodes,
+		Incumbent:   incumbent,
+		Parallelism: cfg.Parallelism,
 	})
 	obs.OrNop(cfg.Observer).LPIterations(res.LPIters)
 	if err := hardCancel(ctx); err != nil {

@@ -1,0 +1,187 @@
+package merge
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"rahtm/internal/graph"
+	"rahtm/internal/topology"
+)
+
+// deltaChildren builds nchild blocks of tpc tasks each by merging
+// single-task leaves on the child cube, so every child carries a beam of
+// candidates (not just one) and the byte-identity test exercises the
+// ChildCandidates dimension. Construction is deterministic, so both arms of
+// the comparison see identical children.
+func deltaChildren(t *testing.T, g *graph.Comm, nchild, tpc int, childShape []int) []*Block {
+	t.Helper()
+	ones := make([]int, len(childShape))
+	for d := range ones {
+		ones[d] = 1
+	}
+	children := make([]*Block, nchild)
+	for i := 0; i < nchild; i++ {
+		leaves := make([]*Block, tpc)
+		pins := make([]int, tpc)
+		for j := 0; j < tpc; j++ {
+			leaves[j] = NewLeafBlock([]int{i*tpc + j}, ones, topology.Mapping{0}, 0)
+			pins[j] = j
+		}
+		blk, err := Merge(g, leaves, childShape, pins, Config{BeamWidth: 4, MaxOrientations: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		children[i] = blk
+	}
+	return children
+}
+
+// wantSameBlock asserts got is byte-identical to want: same candidate
+// count and order, bitwise-equal MCLs, identical local mappings, same
+// Degraded flag. This is the delta-evaluation contract — == on float64 is
+// deliberate.
+func wantSameBlock(t *testing.T, want, got *Block, label string) {
+	t.Helper()
+	if got.Degraded != want.Degraded {
+		t.Fatalf("%s: degraded %v, want %v", label, got.Degraded, want.Degraded)
+	}
+	if len(got.Candidates) != len(want.Candidates) {
+		t.Fatalf("%s: %d candidates, want %d", label, len(got.Candidates), len(want.Candidates))
+	}
+	for i := range want.Candidates {
+		//rahtm:allow(floateq): byte-identity is the contract under test, not a tolerance check
+		if got.Candidates[i].MCL != want.Candidates[i].MCL {
+			t.Fatalf("%s: candidate %d MCL %v, want %v (bitwise)",
+				label, i, got.Candidates[i].MCL, want.Candidates[i].MCL)
+		}
+		if len(got.Candidates[i].Local) != len(want.Candidates[i].Local) {
+			t.Fatalf("%s: candidate %d mapping length differs", label, i)
+		}
+		for j, p := range want.Candidates[i].Local {
+			if got.Candidates[i].Local[j] != p {
+				t.Fatalf("%s: candidate %d task %d at %d, want %d",
+					label, i, j, got.Candidates[i].Local[j], p)
+			}
+		}
+	}
+}
+
+// TestMergeDeltaByteIdentical pins the incremental-MCL contract the package
+// comment promises: at every beam width, parallelism and reposition setting,
+// the sparse delta evaluator produces candidates byte-identical — bitwise
+// MCL, same mappings, same order — to the dense exact-recompute path
+// (Config.DisableDeltaEval). It doubles as the Parallelism 1-vs-8 beam
+// determinism regression for the deterministic topN/combo tie-breaks.
+func TestMergeDeltaByteIdentical(t *testing.T) {
+	scenarios := []struct {
+		name       string
+		childShape []int
+		cubeShape  []int
+		torus      bool
+		forceDelta bool // drop deltaMinChannels so small channel spaces use the sparse path
+		beams      []int
+		reposition []bool
+	}{
+		// Parent 4x4x4, 384 channels: the sparse path engages by default.
+		{
+			name:       "3d-4x4x4",
+			childShape: []int{2, 2, 2},
+			cubeShape:  []int{2, 2, 2},
+			beams:      []int{1, 2, 8},
+			reposition: []bool{false, true},
+		},
+		// The paper's 16,384-process shape scaled to one top-level merge:
+		// parent 4x4x4x4x2 with a 1-extent child dimension.
+		{
+			name:       "5d-4x4x4x4x2",
+			childShape: []int{2, 2, 2, 2, 1},
+			cubeShape:  []int{2, 2, 2, 2, 2},
+			beams:      []int{4},
+			reposition: []bool{false},
+		},
+		// Wrapped evaluation (k=4 dims tie at distance 2) on a channel
+		// space below the auto threshold, forced onto the sparse path.
+		{
+			name:       "torus-4x4x2",
+			childShape: []int{2, 2, 2},
+			cubeShape:  []int{2, 2, 1},
+			torus:      true,
+			forceDelta: true,
+			beams:      []int{1, 8},
+			reposition: []bool{false, true},
+		},
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			if sc.forceDelta {
+				saved := deltaMinChannels
+				deltaMinChannels = 0
+				t.Cleanup(func() { deltaMinChannels = saved })
+			}
+			nchild := 1
+			for _, k := range sc.cubeShape {
+				nchild *= k
+			}
+			tpc := 1
+			for _, k := range sc.childShape {
+				tpc *= k
+			}
+			n := nchild * tpc
+			rng := rand.New(rand.NewSource(int64(1000 + n)))
+			g := graph.New(n)
+			for e := 0; e < 4*n; e++ {
+				g.AddTraffic(rng.Intn(n), rng.Intn(n), float64(1+rng.Intn(9)))
+			}
+			pins := rng.Perm(nchild)
+
+			for _, bw := range sc.beams {
+				for _, repos := range sc.reposition {
+					cfg := Config{
+						BeamWidth:       bw,
+						ChildCandidates: 2,
+						MaxOrientations: 8,
+						Torus:           sc.torus,
+						Reposition:      repos,
+					}
+					run := func(disable bool, par int) *Block {
+						c := cfg
+						c.DisableDeltaEval = disable
+						c.Parallelism = par
+						blk, err := Merge(g, deltaChildren(t, g, nchild, tpc, sc.childShape), sc.cubeShape, pins, c)
+						if err != nil {
+							t.Fatal(err)
+						}
+						return blk
+					}
+					label := fmt.Sprintf("bw=%d repos=%v", bw, repos)
+					dense := run(true, 1)
+					wantSameBlock(t, dense, run(false, 1), label+" delta/seq")
+					wantSameBlock(t, dense, run(false, 8), label+" delta/par8")
+					wantSameBlock(t, dense, run(true, 8), label+" dense/par8")
+				}
+			}
+		})
+	}
+}
+
+// TestTopNDeterministicTieBreak pins the beam truncation tie-break: states
+// with equal MCL are ordered by their packed choice key, so which of them
+// survives a narrow beam never depends on arrival order (and hence not on
+// scoring-worker scheduling).
+func TestTopNDeterministicTieBreak(t *testing.T) {
+	mk := func(mcl float64, key ...uint64) *state {
+		return &state{mcl: mcl, key: key}
+	}
+	a := mk(5, 1, 2)
+	b := mk(5, 1, 3)
+	c := mk(5, 0, 9)
+	d := mk(4, 7, 7)
+	for _, order := range [][]*state{{a, b, c, d}, {d, c, b, a}, {b, d, a, c}} {
+		in := append([]*state(nil), order...)
+		got := topN(in, 2)
+		if len(got) != 2 || got[0] != d || got[1] != c {
+			t.Fatalf("order %v: topN kept %v, want [d c]", order, got)
+		}
+	}
+}

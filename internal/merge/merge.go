@@ -9,6 +9,32 @@
 // child orientations (the hyperoctahedral symmetries of the child box) are
 // scored by the maximum channel load of the traffic merged so far; only the
 // best N (the paper uses N = 64) survive.
+//
+// # Incremental MCL evaluation
+//
+// Scoring a candidate placement does not recompute the merged channel loads
+// from scratch. A candidate perturbs only the channels its own flows
+// traverse, so the scorers accumulate the candidate's contribution — the
+// incoming child's internal loads plus its cross flows to the already-placed
+// children — into a sparse routing.DeltaVec and score it against the partial
+// configuration's dense load vector as
+//
+//	mcl = max(state.mcl, max over touched ch of state.loads[ch] + delta[ch])
+//
+// which is exact (bit-for-bit, not approximately) because deltas are
+// non-negative: untouched channels cannot exceed the state's maximum. The
+// child-internal loads are themselves computed once per (candidate,
+// orientation) pair at the child's pinned cube position and translated to
+// any other position by a constant channel offset — inside a 2-ary merge
+// cube a child box never spans half a wrapped parent dimension, so its
+// internal minimal routes neither wrap nor pick up direction ties, making
+// the load pattern translation-equivariant.
+//
+// A dense exact-recompute path (Config.DisableDeltaEval, also selected
+// automatically for small channel spaces) scores every candidate from a
+// zeroed load vector instead; both paths deposit per-channel values in the
+// same order and therefore produce byte-identical beams, a property pinned
+// by TestMergeDeltaByteIdentical.
 package merge
 
 import (
@@ -19,6 +45,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"rahtm/internal/graph"
 	"rahtm/internal/obs"
@@ -33,7 +60,17 @@ var (
 	ctrBeamCandidates = telemetry.Default.Counter(telemetry.CtrBeamCandidates)
 	ctrBeamKept       = telemetry.Default.Counter(telemetry.CtrBeamKept)
 	ctrSymmetryEvals  = telemetry.Default.Counter(telemetry.CtrSymmetryEvals)
+	ctrDeltaHits      = telemetry.Default.Counter(telemetry.CtrDeltaHits)
+	ctrDeltaFallbacks = telemetry.Default.Counter(telemetry.CtrDeltaFallbacks)
 )
+
+// deltaMinChannels is the channel-space size below which the merge scorers
+// use the dense exact-recompute path unconditionally: with only a few
+// hundred channels the O(NumChannels) zero-and-scan is cheaper than sparse
+// bookkeeping. Both paths are byte-identical, so the threshold only affects
+// speed. Package variable so tests can force the sparse path on small
+// topologies.
+var deltaMinChannels = 256
 
 // Orientation is a signed dimension permutation of a box: output coordinate
 // d reads input coordinate Perm[d], reversed when Flip[d] is set. Only
@@ -215,6 +252,12 @@ type Config struct {
 	// Parallelism bounds the worker goroutines scoring merge candidates
 	// (0 = GOMAXPROCS).
 	Parallelism int
+	// DisableDeltaEval forces the scorers onto the dense exact-recompute
+	// path: every candidate's channel loads are re-accumulated from a
+	// zeroed vector instead of sparsely against the beam state. Both paths
+	// produce byte-identical beams; the switch exists for A/B validation
+	// and benchmarking (small channel spaces fall back automatically).
+	DisableDeltaEval bool
 	// Observer receives BeamRound events after every merge step; nil is a
 	// no-op.
 	Observer obs.Observer
@@ -333,8 +376,10 @@ func MergeCtx(ctx context.Context, g *graph.Comm, children []*Block, cubeShape [
 		m.orients = kept
 	}
 	m.origins = make([][]int, cubeSize)
+	m.originRank = make([]int, cubeSize)
 	for p := 0; p < cubeSize; p++ {
 		m.origins[p] = cubeOrigin(cubeShape, childShape, p)
+		m.originRank[p] = m.parent.RankOf(m.origins[p])
 	}
 	m.ctx = ctx
 	m.done = ctx.Done()
@@ -378,6 +423,7 @@ type merger struct {
 	parent     *topology.Torus
 	orients    []Orientation
 	origins    [][]int // cube position -> parent origin coords
+	originRank []int   // cube position -> parent rank of the origin
 	cfg        Config
 	ctx        context.Context
 	done       <-chan struct{} // ctx.Done(), polled inside worker loops
@@ -387,6 +433,12 @@ type merger struct {
 	// scorers do not rebuild (and re-sort) neighbor lists per evaluation.
 	nbr  [][]int
 	nvol [][]float64
+	// taskChild/taskLocal invert the children's task lists: global task id
+	// -> owning child index and local index within that child (-1 for tasks
+	// outside this merge). The scorers use them to extract cross-child flow
+	// lists once per step instead of re-marking task sets per evaluation.
+	taskChild []int32
+	taskLocal []int32
 	// scratch pools flowScratch instances sized to g.N() for addFlows.
 	scratch sync.Pool
 }
@@ -405,6 +457,18 @@ func (m *merger) initAdjacency() {
 	n := m.g.N()
 	m.nbr = make([][]int, n)
 	m.nvol = make([][]float64, n)
+	m.taskChild = make([]int32, n)
+	m.taskLocal = make([]int32, n)
+	for t := range m.taskChild {
+		m.taskChild[t] = -1
+		m.taskLocal[t] = -1
+	}
+	for ci, c := range m.children {
+		for i, t := range c.Tasks {
+			m.taskChild[t] = int32(ci)
+			m.taskLocal[t] = int32(i)
+		}
+	}
 	for _, c := range m.children {
 		for _, t := range c.Tasks {
 			if m.nbr[t] != nil {
@@ -507,8 +571,51 @@ func (m *merger) addFlows(aTasks []int, aPos []int, bTasks []int, bPos []int, lo
 	m.scratch.Put(fs)
 }
 
-// mergeOrder ranks children by decreasing average best-pair MCL. Pair
-// evaluations are independent and run on all cores.
+// addFlowsDelta is addFlows depositing into a sparse DeltaVec. It walks the
+// same flows in the same order, so per-channel totals match the dense path
+// bit-for-bit (see routing.AddLoadsDelta).
+func (m *merger) addFlowsDelta(aTasks []int, aPos []int, bTasks []int, bPos []int, dv *routing.DeltaVec, includeInternal bool) {
+	alg := routing.MinimalAdaptive{}
+	fs := m.scratch.Get().(*flowScratch)
+	fs.gen++
+	gen := fs.gen
+	for i, t := range aTasks {
+		fs.pos[t] = aPos[i]
+		fs.inA[t] = gen
+	}
+	for i, t := range bTasks {
+		fs.pos[t] = bPos[i]
+		fs.inB[t] = gen
+	}
+	for _, t := range aTasks {
+		for ni, d := range m.nbr[t] {
+			if fs.inB[d] != gen {
+				continue
+			}
+			if !includeInternal && fs.inA[d] == gen {
+				continue
+			}
+			alg.AddLoadsDelta(m.parent, fs.pos[t], fs.pos[d], m.nvol[t][ni], dv)
+		}
+	}
+	for _, t := range bTasks {
+		if fs.inA[t] == gen {
+			continue
+		}
+		for ni, d := range m.nbr[t] {
+			if fs.inA[d] != gen {
+				continue
+			}
+			alg.AddLoadsDelta(m.parent, fs.pos[t], fs.pos[d], m.nvol[t][ni], dv)
+		}
+	}
+	m.scratch.Put(fs)
+}
+
+// mergeOrder ranks children by decreasing average best-pair MCL. Each
+// child's internal loads are routed once per sampled orientation into a
+// snapshot; a pair evaluation then replays two snapshots and routes only the
+// cross flows, sparsely — no dense vector is zeroed or scanned per pair.
 func (m *merger) mergeOrder() []int {
 	n := len(m.children)
 	if n == 1 {
@@ -519,20 +626,92 @@ func (m *merger) mergeOrder() []int {
 	for ko > 1 && ko*ko > m.cfg.MaxPairEvals {
 		ko--
 	}
-	type pair struct{ i, j int }
-	var pairs []pair
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			pairs = append(pairs, pair{i, j})
-		}
-	}
-	best := make([]float64, len(pairs))
 	workers := m.cfg.Parallelism
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+
+	// Stage 1: pinned placements and internal-load snapshots per (child,
+	// orientation), shared by every pair the child participates in.
+	pl := make([][][]int, n)
+	snaps := make([][]routing.Snapshot, n)
+	for i := range pl {
+		pl[i] = make([][]int, ko)
+		snaps[i] = make([]routing.Snapshot, ko)
+	}
+	units := n * ko
 	var wg sync.WaitGroup
-	chunk := (len(pairs) + workers - 1) / workers
+	chunk := (units + workers - 1) / workers
+	for w := 0; w < workers && w*chunk < units; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > units {
+			hi = units
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			dv := routing.NewDeltaVec(m.parent.NumChannels())
+			for u := lo; u < hi; u++ {
+				select {
+				case <-m.done:
+					return // ordering becomes partial; run() handles the context
+				default:
+				}
+				i, oi := u/ko, u%ko
+				p := m.placement(i, m.children[i].Candidates[0], m.orients[oi])
+				dv.Reset()
+				m.addFlowsDelta(m.children[i].Tasks, p, m.children[i].Tasks, p, dv, true)
+				pl[i][oi] = p
+				snaps[i][oi] = dv.Snapshot()
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+
+	// Stage 2: pair evaluations. The cross flows of each child pair are
+	// extracted once from the adjacency (a single graph pass); an
+	// evaluation replays the two internal snapshots and routes only those
+	// flows.
+	type pair struct{ i, j int }
+	var pairs []pair
+	pairIdx := make([][]int, n)
+	for i := 0; i < n; i++ {
+		pairIdx[i] = make([]int, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			pairIdx[i][j] = len(pairs)
+			pairs = append(pairs, pair{i, j})
+		}
+	}
+	type pairEdge struct {
+		ai, bi int32 // local task indices within child i / child j
+		fromJ  bool  // the flow runs j -> i when set
+		vol    float64
+	}
+	pairEdges := make([][]pairEdge, len(pairs))
+	for t := 0; t < m.g.N(); t++ {
+		ci := m.taskChild[t]
+		if ci < 0 {
+			continue
+		}
+		for ni, d := range m.nbr[t] {
+			cj := m.taskChild[d]
+			if cj < 0 || cj == ci {
+				continue
+			}
+			vol := m.nvol[t][ni]
+			if ci < cj {
+				pi := pairIdx[ci][cj]
+				pairEdges[pi] = append(pairEdges[pi], pairEdge{ai: m.taskLocal[t], bi: m.taskLocal[d], vol: vol})
+			} else {
+				pi := pairIdx[cj][ci]
+				pairEdges[pi] = append(pairEdges[pi], pairEdge{ai: m.taskLocal[d], bi: m.taskLocal[t], fromJ: true, vol: vol})
+			}
+		}
+	}
+	best := make([]float64, len(pairs))
+	chunk = (len(pairs) + workers - 1) / workers
 	for w := 0; w < workers && w*chunk < len(pairs); w++ {
 		lo, hi := w*chunk, (w+1)*chunk
 		if hi > len(pairs) {
@@ -544,29 +723,36 @@ func (m *merger) mergeOrder() []int {
 			var evals int64
 			//rahtm:allow(telemetrybatch): flushes a per-worker local once at worker exit, not per iteration
 			defer func() { ctrSymmetryEvals.Add(evals) }()
-			buf := make([]float64, m.parent.NumChannels())
+			alg := routing.MinimalAdaptive{}
+			dv := routing.NewDeltaVec(m.parent.NumChannels())
 			for pi := lo; pi < hi; pi++ {
 				select {
 				case <-m.done:
 					return // ordering becomes partial; run() handles the context
 				default:
 				}
-				evals += int64(ko * ko)
 				i, j := pairs[pi].i, pairs[pi].j
-				ci := m.children[i].Candidates[0]
-				cj := m.children[j].Candidates[0]
 				bst := -1.0
 				for oi := 0; oi < ko; oi++ {
-					plI := m.placement(i, ci, m.orients[oi])
+					if pl[i][oi] == nil {
+						continue // stage 1 was cut short by cancellation
+					}
 					for oj := 0; oj < ko; oj++ {
-						plJ := m.placement(j, cj, m.orients[oj])
-						for k := range buf {
-							buf[k] = 0
+						if pl[j][oj] == nil {
+							continue
 						}
-						m.addFlows(m.children[i].Tasks, plI, m.children[i].Tasks, plI, buf, true)
-						m.addFlows(m.children[j].Tasks, plJ, m.children[j].Tasks, plJ, buf, true)
-						m.addFlows(m.children[i].Tasks, plI, m.children[j].Tasks, plJ, buf, false)
-						mcl := routing.MCL(buf)
+						evals++
+						dv.Reset()
+						dv.AddSnapshot(snaps[i][oi], 0)
+						dv.AddSnapshot(snaps[j][oj], 0)
+						for _, e := range pairEdges[pi] {
+							if e.fromJ {
+								alg.AddLoadsDelta(m.parent, pl[j][oj][e.bi], pl[i][oi][e.ai], e.vol, dv)
+							} else {
+								alg.AddLoadsDelta(m.parent, pl[i][oi][e.ai], pl[j][oj][e.bi], e.vol, dv)
+							}
+						}
+						mcl := dv.Max()
 						if bst < 0 || mcl < bst {
 							bst = mcl
 						}
@@ -592,57 +778,150 @@ func (m *merger) mergeOrder() []int {
 
 // state is one partial merged configuration.
 type state struct {
-	pos   [][]int // per merged child (in merge order): task parent positions
-	cube  []int   // cube position chosen per merged child (in merge order)
-	used  uint64  // bitmask of occupied cube positions
+	pos  [][]int // per merged child (in merge order): task parent positions
+	cube []int   // cube position chosen per merged child (in merge order)
+	used uint64  // bitmask of occupied cube positions
+	// key is the packed (cube, candidate, orientation) choice made at every
+	// merge step: a placement key unique to the state, used as the
+	// deterministic tie-break between equal-MCL states so beam contents
+	// never depend on scoring order or parallelism.
+	key   []uint64
 	loads []float64
 	mcl   float64
 }
 
-// variant is one way to absorb the incoming child: which of its candidates,
-// which orientation, and (with Reposition) which cube position.
-type variant struct {
-	cand   int
-	orient int
-	cube   int
+// packChoice encodes one merge step's choice as a single ordered word.
+func packChoice(cube, cand, orient int) uint64 {
+	return uint64(cube)<<40 | uint64(cand)<<20 | uint64(orient)
 }
 
-// variantsOf enumerates the incoming child's variants given the occupied
-// cube positions of a partial configuration.
-func (m *merger) variantsOf(child int, used uint64) []variant {
-	nc := len(m.children[child].Candidates)
-	if nch := m.cfg.ChildCandidates; nc > nch {
-		nc = nch
-	}
-	var cubes []int
-	if m.cfg.Reposition {
-		for p := range m.origins {
-			if used&(1<<uint(p)) == 0 {
-				cubes = append(cubes, p)
-			}
-		}
-	} else {
-		cubes = []int{m.childPos[child]}
-	}
-	out := make([]variant, 0, nc*len(m.orients)*len(cubes))
-	for c := 0; c < nc; c++ {
-		for o := range m.orients {
-			for _, q := range cubes {
-				out = append(out, variant{cand: c, orient: o, cube: q})
-			}
+// lessKey compares placement keys lexicographically. Keys of states in the
+// same beam have equal length.
+func lessKey(a, b []uint64) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
 		}
 	}
-	return out
+	return len(a) < len(b)
 }
 
-// applyVariant adds the child's internal and cross loads for the variant on
-// top of the partial state's loads (into dst, which must already hold the
-// state's loads).
-func (m *merger) applyVariant(st *state, order []int, step, child int, v variant, p []int, dst []float64) {
+// combo is one (beam state, child candidate, orientation, cube position)
+// scoring unit of a merge step.
+type combo struct {
+	si     int32
+	cand   int32
+	orient int32
+	cube   int32
+	mcl    float64
+}
+
+// freeCubes returns the cube positions the incoming child may take given the
+// occupied positions of a partial configuration, appended to dst.
+func (m *merger) freeCubes(child int, used uint64, dst []int) []int {
+	dst = dst[:0]
+	if !m.cfg.Reposition {
+		return append(dst, m.childPos[child])
+	}
+	for p := range m.origins {
+		if used&(1<<uint(p)) == 0 {
+			dst = append(dst, p)
+		}
+	}
+	return dst
+}
+
+// applyVariant adds the child's internal and cross loads for placement p on
+// top of dst (dense). Only the greedy completion path uses it; the scorers
+// route precomputed crossEdge lists instead.
+func (m *merger) applyVariant(st *state, order []int, step, child int, p []int, dst []float64) {
 	m.addFlows(m.children[child].Tasks, p, m.children[child].Tasks, p, dst, true)
 	for s := 0; s < step; s++ {
 		m.addFlows(m.children[order[s]].Tasks, st.pos[s], m.children[child].Tasks, p, dst, false)
 	}
+}
+
+// crossEdge is one directed flow between the incoming child of a merge step
+// and an already-placed child. The list is extracted once per step so a
+// combo evaluation touches exactly the flows it routes — no per-evaluation
+// task-set marking.
+type crossEdge struct {
+	ci      int32 // local task index within the incoming child
+	s       int32 // merge-order step of the placed child
+	oi      int32 // local task index within that placed child
+	toChild bool  // the flow runs placed -> child when set
+	vol     float64
+}
+
+// crossEdgesFor lists the flows between the incoming child of this step and
+// every placed child, in a deterministic order shared by the sparse and
+// dense scorers and the materialization pass.
+func (m *merger) crossEdgesFor(order []int, step int, childStep []int32) []crossEdge {
+	child := order[step]
+	var edges []crossEdge
+	for li, t := range m.children[child].Tasks {
+		for ni, d := range m.nbr[t] {
+			if m.taskChild[d] < 0 {
+				continue
+			}
+			s := childStep[m.taskChild[d]]
+			if s < 0 || s >= int32(step) {
+				continue
+			}
+			edges = append(edges, crossEdge{ci: int32(li), s: s, oi: m.taskLocal[d], vol: m.nvol[t][ni]})
+		}
+	}
+	for s := 0; s < step; s++ {
+		for oi, u := range m.children[order[s]].Tasks {
+			for ni, d := range m.nbr[u] {
+				if m.taskChild[d] != int32(child) {
+					continue
+				}
+				edges = append(edges, crossEdge{ci: m.taskLocal[d], s: int32(s), oi: int32(oi), toChild: true, vol: m.nvol[u][ni]})
+			}
+		}
+	}
+	return edges
+}
+
+// addCrossEdgesDelta routes the step's cross flows for the child placed at
+// cp (task local index -> parent rank) against the state's placements.
+func (m *merger) addCrossEdgesDelta(edges []crossEdge, st *state, cp []int, dv *routing.DeltaVec) {
+	alg := routing.MinimalAdaptive{}
+	for _, e := range edges {
+		pp := st.pos[e.s][e.oi]
+		if e.toChild {
+			alg.AddLoadsDelta(m.parent, pp, cp[e.ci], e.vol, dv)
+		} else {
+			alg.AddLoadsDelta(m.parent, cp[e.ci], pp, e.vol, dv)
+		}
+	}
+}
+
+// addCrossEdges is addCrossEdgesDelta into a dense vector, same flow order.
+func (m *merger) addCrossEdges(edges []crossEdge, st *state, cp []int, loads []float64) {
+	alg := routing.MinimalAdaptive{}
+	for _, e := range edges {
+		pp := st.pos[e.s][e.oi]
+		if e.toChild {
+			alg.AddLoads(m.parent, pp, cp[e.ci], e.vol, loads)
+		} else {
+			alg.AddLoads(m.parent, cp[e.ci], pp, e.vol, loads)
+		}
+	}
+}
+
+// maxShifted returns the maximum of base[ch]+delta[ch] over all channels —
+// the dense-path score, bit-identical to DeltaVec.MaxOver because adding a
+// zero delta is exact and deltas are non-negative.
+func maxShifted(base, delta []float64) float64 {
+	max := 0.0
+	for ch, b := range base {
+		if v := b + delta[ch]; v > max {
+			max = v
+		}
+	}
+	return max
 }
 
 func (m *merger) run() (*Block, error) {
@@ -654,79 +933,146 @@ func (m *merger) run() (*Block, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	useDelta := !m.cfg.DisableDeltaEval && m.parent.NumChannels() >= deltaMinChannels
+	nd2 := m.parent.NumDims() * 2
 	degraded := false
-	var candGen, candKept int64
+	var candGen, candKept, deltaHits, deltaFalls int64
 	defer func() {
 		ctrBeamCandidates.Add(candGen)
 		ctrBeamKept.Add(candKept)
+		ctrDeltaHits.Add(deltaHits)
+		ctrDeltaFallbacks.Add(deltaFalls)
 	}()
 
-	// Seed the beam with the first child. With the deadline already gone,
-	// seed only the pinned identity variant; the loop below completes the
-	// rest greedily.
-	var beam []*state
-	first := order[0]
-	if expired(m.ctx) {
-		degraded = true
-		beam = []*state{m.seedState(first, variant{cube: m.childPos[first]})}
-	} else {
-		for _, v := range m.variantsOf(first, 0) {
-			beam = append(beam, m.seedState(first, v))
-		}
-		candGen += int64(len(beam))
-		beam = topN(beam, m.cfg.BeamWidth)
-		candKept += int64(len(beam))
+	// The beam starts from the empty configuration; step 0 seeds it with
+	// the first child's variants through the same scoring path as every
+	// later step.
+	beam := []*state{{loads: make([]float64, m.parent.NumChannels())}}
+	childStep := make([]int32, len(m.children))
+	for i := range childStep {
+		childStep[i] = -1
 	}
-	m.obs.BeamRound(m.cfg.Level, 0, len(beam), beam[0].mcl)
 
-	for step := 1; step < len(order); step++ {
+	for step := 0; step < len(order); step++ {
 		if err := hardCancel(m.ctx); err != nil {
 			return nil, err
 		}
 		if expired(m.ctx) {
 			beam = m.completeGreedy(beam, order, step)
 			degraded = true
+			if step == 0 {
+				m.obs.BeamRound(m.cfg.Level, 0, len(beam), beam[0].mcl)
+			}
 			break
 		}
 		child := order[step]
-		// Pass 1: score every (state, variant) combination, in parallel.
-		type combo struct {
-			st  int
-			v   variant
-			mcl float64
+		tasks := m.children[child].Tasks
+		nc := len(m.children[child].Candidates)
+		if nc > m.cfg.ChildCandidates {
+			nc = m.cfg.ChildCandidates
 		}
-		var combos []combo
+		numOrients := len(m.orients)
+		refCube := m.childPos[child]
+		crossEdges := m.crossEdgesFor(order, step, childStep)
+		childStep[child] = int32(step)
+
+		// Combo layout: (candidate, orientation) groups are contiguous so a
+		// worker computes each group's reference placement — and, in delta
+		// mode, its internal-load snapshot — exactly once, then scores the
+		// group against every (state, cube position).
+		cubesOf := make([][]int, len(beam))
+		off := make([]int, len(beam)+1)
 		for si, st := range beam {
-			for _, v := range m.variantsOf(child, st.used) {
-				combos = append(combos, combo{st: si, v: v, mcl: math.Inf(1)})
+			cubesOf[si] = m.freeCubes(child, st.used, nil)
+			off[si+1] = off[si] + len(cubesOf[si])
+		}
+		groupSize := off[len(beam)]
+		groups := nc * numOrients
+		combos := make([]combo, groups*groupSize)
+		for c := 0; c < nc; c++ {
+			for o := 0; o < numOrients; o++ {
+				base := (c*numOrients + o) * groupSize
+				for si := range beam {
+					for qi, q := range cubesOf[si] {
+						combos[base+off[si]+qi] = combo{
+							si: int32(si), cand: int32(c), orient: int32(o),
+							cube: int32(q), mcl: math.Inf(1),
+						}
+					}
+				}
 			}
 		}
+
+		// Pass 1: score every combo, in parallel over groups.
 		var wg sync.WaitGroup
-		chunk := (len(combos) + workers - 1) / workers
-		for w := 0; w < workers && w*chunk < len(combos); w++ {
-			lo, hi := w*chunk, (w+1)*chunk
-			if hi > len(combos) {
-				hi = len(combos)
+		chunk := (groups + workers - 1) / workers
+		for w := 0; w < workers && w*chunk < groups; w++ {
+			glo, ghi := w*chunk, (w+1)*chunk
+			if ghi > groups {
+				ghi = groups
 			}
 			wg.Add(1)
-			go func(lo, hi int) {
+			go func(glo, ghi int) {
 				defer wg.Done()
-				buf := make([]float64, m.parent.NumChannels())
-				for i := lo; i < hi; i++ {
-					select {
-					case <-m.done:
-						return // unscored combos keep mcl=+Inf and are discarded
-					default:
-					}
-					c := &combos[i]
-					st := beam[c.st]
-					cand := m.children[child].Candidates[c.v.cand]
-					p := m.placementAt(child, cand, m.orients[c.v.orient], c.v.cube)
-					copy(buf, st.loads)
-					m.applyVariant(st, order, step, child, c.v, p, buf)
-					c.mcl = routing.MCL(buf)
+				var hits, falls int64
+				defer func() {
+					atomic.AddInt64(&deltaHits, hits)
+					atomic.AddInt64(&deltaFalls, falls)
+				}()
+				refPos := make([]int, len(tasks))
+				posBuf := make([]int, len(tasks))
+				var dv *routing.DeltaVec
+				var buf []float64
+				if useDelta {
+					dv = routing.NewDeltaVec(m.parent.NumChannels())
+				} else {
+					buf = make([]float64, m.parent.NumChannels())
 				}
-			}(lo, hi)
+				var snap routing.Snapshot
+				for g := glo; g < ghi; g++ {
+					c, o := g/numOrients, g%numOrients
+					cand := m.children[child].Candidates[c]
+					for i := range tasks {
+						refPos[i] = m.taskParentPos(cand, m.orients[o], refCube, i)
+					}
+					if useDelta {
+						dv.Reset()
+						m.addFlowsDelta(tasks, refPos, tasks, refPos, dv, true)
+						snap = dv.Snapshot()
+					}
+					base := g * groupSize
+					for si, st := range beam {
+						for qi, q := range cubesOf[si] {
+							select {
+							case <-m.done:
+								return // unscored combos keep mcl=+Inf and are discarded
+							default:
+							}
+							rankOff := m.originRank[q] - m.originRank[refCube]
+							for i := range refPos {
+								posBuf[i] = refPos[i] + rankOff
+							}
+							var mcl float64
+							if useDelta {
+								dv.Reset()
+								dv.AddSnapshot(snap, rankOff*nd2)
+								m.addCrossEdgesDelta(crossEdges, st, posBuf, dv)
+								mcl = dv.MaxOver(st.loads, st.mcl)
+								hits++
+							} else {
+								for k := range buf {
+									buf[k] = 0
+								}
+								m.addFlows(tasks, posBuf, tasks, posBuf, buf, true)
+								m.addCrossEdges(crossEdges, st, posBuf, buf)
+								mcl = maxShifted(st.loads, buf)
+								falls++
+							}
+							combos[base+off[si]+qi].mcl = mcl
+						}
+					}
+				}
+			}(glo, ghi)
 		}
 		wg.Wait()
 		if err := hardCancel(m.ctx); err != nil {
@@ -740,34 +1086,79 @@ func (m *merger) run() (*Block, error) {
 			break
 		}
 		candGen += int64(len(combos))
-		sort.SliceStable(combos, func(a, b int) bool { return combos[a].mcl < combos[b].mcl })
+		sort.Slice(combos, func(a, b int) bool {
+			ca, cb := &combos[a], &combos[b]
+			if ca.mcl < cb.mcl {
+				return true
+			}
+			if cb.mcl < ca.mcl {
+				return false
+			}
+			// Equal MCL: tie-break on the placement key — state choice path
+			// first, then this step's packed choice — a total order
+			// independent of scoring order and parallelism.
+			if ca.si != cb.si {
+				return lessKey(beam[ca.si].key, beam[cb.si].key)
+			}
+			return packChoice(int(ca.cube), int(ca.cand), int(ca.orient)) <
+				packChoice(int(cb.cube), int(cb.cand), int(cb.orient))
+		})
 		if len(combos) > m.cfg.BeamWidth {
 			combos = combos[:m.cfg.BeamWidth]
 		}
 		candKept += int64(len(combos))
-		// Pass 2: materialize the winners.
+
+		// Pass 2: materialize the winners. The winner's contribution is
+		// re-accumulated at its actual cube position — bit-identical to the
+		// translated snapshot used for scoring — and added onto the state
+		// loads channel by channel, so both modes build identical vectors.
 		next := make([]*state, 0, len(combos))
+		var dvM *routing.DeltaVec
+		var bufM []float64
+		if useDelta {
+			dvM = routing.NewDeltaVec(m.parent.NumChannels())
+		} else {
+			bufM = make([]float64, m.parent.NumChannels())
+		}
 		for _, sc := range combos {
-			st := beam[sc.st]
-			cand := m.children[child].Candidates[sc.v.cand]
-			p := m.placementAt(child, cand, m.orients[sc.v.orient], sc.v.cube)
+			st := beam[sc.si]
+			cand := m.children[child].Candidates[sc.cand]
+			p := m.placementAt(child, cand, m.orients[sc.orient], int(sc.cube))
 			loads := append([]float64(nil), st.loads...)
-			m.applyVariant(st, order, step, child, sc.v, p, loads)
+			if useDelta {
+				dvM.Reset()
+				m.addFlowsDelta(tasks, p, tasks, p, dvM, true)
+				m.addCrossEdgesDelta(crossEdges, st, p, dvM)
+				dvM.AddTo(loads)
+			} else {
+				for k := range bufM {
+					bufM[k] = 0
+				}
+				m.addFlows(tasks, p, tasks, p, bufM, true)
+				m.addCrossEdges(crossEdges, st, p, bufM)
+				for k := range loads {
+					loads[k] += bufM[k]
+				}
+			}
 			pos := make([][]int, step+1)
 			copy(pos, st.pos)
 			pos[step] = p
 			cube := make([]int, step+1)
 			copy(cube, st.cube)
-			cube[step] = sc.v.cube
+			cube[step] = int(sc.cube)
+			key := make([]uint64, step+1)
+			copy(key, st.key)
+			key[step] = packChoice(int(sc.cube), int(sc.cand), int(sc.orient))
 			next = append(next, &state{
 				pos:   pos,
 				cube:  cube,
-				used:  st.used | 1<<uint(sc.v.cube),
+				used:  st.used | 1<<uint(sc.cube),
+				key:   key,
 				loads: loads,
 				mcl:   sc.mcl,
 			})
 		}
-		beam = next
+		beam = topN(next, m.cfg.BeamWidth)
 		m.obs.BeamRound(m.cfg.Level, step, len(beam), beam[0].mcl)
 	}
 
@@ -799,21 +1190,6 @@ func (m *merger) run() (*Block, error) {
 	return out, nil
 }
 
-// seedState builds the single-child beam state for variant v of child.
-func (m *merger) seedState(child int, v variant) *state {
-	cand := m.children[child].Candidates[v.cand]
-	p := m.placementAt(child, cand, m.orients[v.orient], v.cube)
-	loads := make([]float64, m.parent.NumChannels())
-	m.addFlows(m.children[child].Tasks, p, m.children[child].Tasks, p, loads, true)
-	return &state{
-		pos:   [][]int{p},
-		cube:  []int{v.cube},
-		used:  1 << uint(v.cube),
-		loads: loads,
-		mcl:   routing.MCL(loads),
-	}
-}
-
 // completeGreedy finishes an interrupted merge from the best surviving
 // state: each remaining child (steps from..end of order) is absorbed with
 // its first candidate, the identity orientation, and its pinned cube
@@ -835,17 +1211,21 @@ func (m *merger) completeGreedy(beam []*state, order []int, from int) []*state {
 		cand := m.children[child].Candidates[0]
 		p := m.placementAt(child, cand, m.orients[0], cube)
 		loads := append([]float64(nil), st.loads...)
-		m.applyVariant(st, order, step, child, variant{cube: cube}, p, loads)
+		m.applyVariant(st, order, step, child, p, loads)
 		pos := make([][]int, step+1)
 		copy(pos, st.pos)
 		pos[step] = p
 		cubes := make([]int, step+1)
 		copy(cubes, st.cube)
 		cubes[step] = cube
+		key := make([]uint64, step+1)
+		copy(key, st.key)
+		key[step] = packChoice(cube, 0, 0)
 		st = &state{
 			pos:   pos,
 			cube:  cubes,
 			used:  st.used | 1<<uint(cube),
+			key:   key,
 			loads: loads,
 			mcl:   routing.MCL(loads),
 		}
@@ -853,9 +1233,19 @@ func (m *merger) completeGreedy(beam []*state, order []int, from int) []*state {
 	return []*state{st}
 }
 
-// topN sorts states ascending by MCL and truncates.
+// topN sorts states ascending by MCL — equal-MCL states ordered by their
+// placement key, an explicit deterministic tie-break — and truncates.
 func topN(states []*state, n int) []*state {
-	sort.SliceStable(states, func(a, b int) bool { return states[a].mcl < states[b].mcl })
+	sort.Slice(states, func(a, b int) bool {
+		sa, sb := states[a], states[b]
+		if sa.mcl < sb.mcl {
+			return true
+		}
+		if sb.mcl < sa.mcl {
+			return false
+		}
+		return lessKey(sa.key, sb.key)
+	})
 	if len(states) > n {
 		states = states[:n]
 	}

@@ -270,3 +270,41 @@ func TestQuickOrientationsAreIsometries(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestApplyFastMatchesApply is the property test for the allocation-free
+// orientation path: applyFast must agree with Apply on every position of
+// every orientation for 2-D, 3-D and 4-D boxes and for the 16k top-level
+// child shape 4x4x4x4x2.
+func TestApplyFastMatchesApply(t *testing.T) {
+	shapes := [][]int{
+		{4, 4},
+		{2, 3},
+		{2, 2, 2},
+		{4, 2, 3},
+		{2, 2, 2, 2},
+		{3, 2, 2, 1},
+		{4, 4, 4, 4, 2},
+	}
+	for _, shape := range shapes {
+		n := 1
+		for _, k := range shape {
+			n *= k
+		}
+		for oi, o := range Orientations(shape) {
+			seen := make([]bool, n)
+			for pos := 0; pos < n; pos++ {
+				fast := o.applyFast(shape, pos)
+				slow := o.Apply(shape, pos)
+				if fast != slow {
+					t.Fatalf("shape %v orientation %d pos %d: applyFast %d, Apply %d",
+						shape, oi, pos, fast, slow)
+				}
+				if fast < 0 || fast >= n || seen[fast] {
+					t.Fatalf("shape %v orientation %d pos %d: image %d not a fresh position",
+						shape, oi, pos, fast)
+				}
+				seen[fast] = true
+			}
+		}
+	}
+}

@@ -1,0 +1,291 @@
+package routing
+
+// Sparse delta evaluation for incremental MCL scoring.
+//
+// The Phase 3 beam merger scores hundreds of thousands of candidate
+// placements per merge step. Scoring with dense channel-load vectors costs
+// O(NumChannels) per candidate just to copy, zero and scan the vector, even
+// though each candidate only perturbs the handful of channels its flows
+// actually traverse — on the paper's 16,384-process configuration the dense
+// bookkeeping dwarfs the routing work itself. DeltaVec is the sparse
+// accumulator that removes it (the sparse quadratic-assignment framing of
+// Schulz & Träff): generation-stamped so Reset is O(touched), it records
+// exactly which channels a candidate's flows deposit load on, letting the
+// merger score a candidate as
+//
+//	max(baseMCL, max over touched ch of base[ch] + delta[ch])
+//
+// which is exact for non-negative deltas because untouched channels cannot
+// exceed the base maximum.
+//
+// MinimalAdaptive.AddLoadsDelta mirrors AddLoads exactly — same direction
+// and tie handling, same stencil-cache decisions, same DP, same deposit
+// order — so for any flow the per-channel totals accumulated into a DeltaVec
+// are bit-identical to the totals the dense path accumulates from a zeroed
+// vector. Delta evaluation is therefore byte-exact against a full
+// recomputation, not merely approximately equal.
+
+import (
+	"rahtm/internal/topology"
+)
+
+// DeltaVec is a sparse accumulator over a dense channel space. The zero
+// value is not usable; construct with NewDeltaVec. Not safe for concurrent
+// use — scoring workers each own one.
+type DeltaVec struct {
+	vals    []float64
+	stamp   []uint64
+	gen     uint64
+	touched []int32
+}
+
+// NewDeltaVec returns an empty accumulator over n channels.
+func NewDeltaVec(n int) *DeltaVec {
+	return &DeltaVec{
+		vals:  make([]float64, n),
+		stamp: make([]uint64, n),
+		gen:   1,
+	}
+}
+
+// Size returns the dense channel-space size.
+func (v *DeltaVec) Size() int { return len(v.vals) }
+
+// Reset forgets all accumulated deltas in O(1).
+func (v *DeltaVec) Reset() {
+	v.gen++
+	v.touched = v.touched[:0]
+}
+
+// Add accumulates x onto channel ch, marking it touched.
+func (v *DeltaVec) Add(ch int, x float64) {
+	if v.stamp[ch] != v.gen {
+		v.stamp[ch] = v.gen
+		v.vals[ch] = x
+		v.touched = append(v.touched, int32(ch))
+		return
+	}
+	v.vals[ch] += x
+}
+
+// Value returns the accumulated delta on ch (0 when untouched).
+func (v *DeltaVec) Value(ch int) float64 {
+	if v.stamp[ch] != v.gen {
+		return 0
+	}
+	return v.vals[ch]
+}
+
+// Touched returns the channels with accumulated deltas, in first-touch
+// order. The slice is owned by the DeltaVec and valid until the next Reset.
+func (v *DeltaVec) Touched() []int32 { return v.touched }
+
+// NumTouched returns how many distinct channels hold deltas.
+func (v *DeltaVec) NumTouched() int { return len(v.touched) }
+
+// Max returns the maximum accumulated delta (0 when nothing was touched,
+// matching MCL of an otherwise-zero load vector).
+func (v *DeltaVec) Max() float64 {
+	max := 0.0
+	for _, ch := range v.touched {
+		if x := v.vals[ch]; x > max {
+			max = x
+		}
+	}
+	return max
+}
+
+// MaxOver returns max(baseMCL, max over touched ch of base[ch]+delta[ch]) —
+// the MCL of base with the deltas applied, exact when baseMCL == MCL(base)
+// and all deltas are non-negative.
+func (v *DeltaVec) MaxOver(base []float64, baseMCL float64) float64 {
+	max := baseMCL
+	for _, ch := range v.touched {
+		if x := base[ch] + v.vals[ch]; x > max {
+			max = x
+		}
+	}
+	return max
+}
+
+// AddTo adds the accumulated deltas into the dense vector loads.
+func (v *DeltaVec) AddTo(loads []float64) {
+	for _, ch := range v.touched {
+		loads[ch] += v.vals[ch]
+	}
+}
+
+// Snapshot is a frozen copy of a DeltaVec's contents: parallel channel and
+// value slices. Each channel appears exactly once, so replaying a snapshot
+// (AddSnapshot) reproduces the accumulated per-channel totals bit-exactly
+// regardless of entry order.
+type Snapshot struct {
+	Ch  []int32
+	Val []float64
+}
+
+// Snapshot freezes the current contents.
+func (v *DeltaVec) Snapshot() Snapshot {
+	s := Snapshot{
+		Ch:  make([]int32, len(v.touched)),
+		Val: make([]float64, len(v.touched)),
+	}
+	copy(s.Ch, v.touched)
+	for i, ch := range v.touched {
+		s.Val[i] = v.vals[ch]
+	}
+	return s
+}
+
+// AddSnapshot replays a snapshot into the accumulator with every channel id
+// shifted by chOff (translation of the pattern to a different box origin).
+func (v *DeltaVec) AddSnapshot(s Snapshot, chOff int) {
+	for i, ch := range s.Ch {
+		v.Add(int(ch)+chOff, s.Val[i])
+	}
+}
+
+// AddSnapshotTo replays a snapshot into a dense load vector with every
+// channel id shifted by chOff.
+func (s Snapshot) AddSnapshotTo(loads []float64, chOff int) {
+	for i, ch := range s.Ch {
+		loads[int(ch)+chOff] += s.Val[i]
+	}
+}
+
+// AddLoadsDelta is AddLoads depositing into a DeltaVec instead of a dense
+// vector. For a given flow it makes exactly the stencil-cache decisions and
+// deposits exactly the values, in the same order, as AddLoads would into a
+// zeroed dense vector, so sparse and dense evaluation agree bit-for-bit.
+// A negative vol subtracts. Safe for concurrent use with distinct DeltaVecs.
+func (a MinimalAdaptive) AddLoadsDelta(t *topology.Torus, src, dst int, vol float64, dv *DeltaVec) {
+	if src == dst || vol == 0 {
+		return
+	}
+	nd := t.NumDims()
+	sc := getScratch(nd)
+	defer putScratch(sc)
+	cs := t.CoordOf(src, sc.cs)
+	cd := t.CoordOf(dst, sc.cd)
+	numCombos := prepareDirs(t, cs, cd, sc)
+	comboVol := vol / float64(numCombos)
+	for mask := 0; mask < numCombos; mask++ {
+		for b, d := range sc.ties {
+			if mask&(1<<uint(b)) == 0 {
+				sc.dirs[d] = topology.Plus
+			} else {
+				sc.dirs[d] = topology.Minus
+			}
+		}
+		a.routeBoxDelta(t, cs, sc.dirs, sc.dists, comboVol, dv, sc)
+	}
+}
+
+// routeBoxDelta is routeBox with a DeltaVec sink: stencil cache when the
+// displacement is cacheable, direct DP otherwise, with the same hit/miss
+// accounting.
+func (a MinimalAdaptive) routeBoxDelta(t *topology.Torus, cs, dirs, dists []int, vol float64, dv *DeltaVec, sc *scratch) {
+	if !a.DisableCache {
+		if s := stencilFor(dists); s != nil {
+			sc.hits.Inc()
+			s.applyDelta(t, cs, dirs, vol, dv, sc.coord)
+			return
+		}
+	}
+	sc.misses.Inc()
+	addMinimalBoxLoadsDelta(t, cs, dirs, dists, vol, dv, sc)
+}
+
+// applyDelta is stencil.apply depositing into a DeltaVec.
+func (s *stencil) applyDelta(t *topology.Torus, cs, dirs []int, vol float64, dv *DeltaVec, coord []int) {
+	nd := s.nd
+	ei := 0
+	for c := 0; c < s.cells; c++ {
+		base := c * nd
+		for d := 0; d < nd; d++ {
+			u := int(s.offs[base+d])
+			if u == 0 {
+				coord[d] = cs[d]
+				continue
+			}
+			k := t.Dim(d)
+			if dirs[d] == topology.Plus {
+				v := cs[d] + u
+				if v >= k {
+					v -= k
+				}
+				coord[d] = v
+			} else {
+				v := cs[d] - u
+				if v < 0 {
+					v += k
+				}
+				coord[d] = v
+			}
+		}
+		node := t.RankOf(coord)
+		for n := s.cnt[c]; n > 0; n-- {
+			d := int(s.dims[ei])
+			dv.Add(t.ChannelID(node, d, dirs[d]), s.fracs[ei]*vol)
+			ei++
+		}
+	}
+}
+
+// addMinimalBoxLoadsDelta is addMinimalBoxLoads depositing into a DeltaVec.
+func addMinimalBoxLoadsDelta(t *topology.Torus, cs []int, dirs, dists []int, vol float64, dv *DeltaVec, sc *scratch) {
+	nd := t.NumDims()
+	total := 1
+	shape := sc.shape
+	for d := 0; d < nd; d++ {
+		shape[d] = dists[d] + 1
+		total *= shape[d]
+	}
+	strides := sc.strides
+	s := 1
+	for d := nd - 1; d >= 0; d-- {
+		strides[d] = s
+		s *= shape[d]
+	}
+
+	p := sc.floats(total)
+	p[0] = vol
+	u := sc.u
+	for d := range u {
+		u[d] = 0
+	}
+	coord := sc.coord
+	for idx := 0; idx < total; idx++ {
+		pu := p[idx]
+		if pu == 0 {
+			incOffset(u, shape)
+			continue
+		}
+		remain := 0
+		for d := 0; d < nd; d++ {
+			remain += dists[d] - u[d]
+		}
+		if remain > 0 {
+			for d := 0; d < nd; d++ {
+				k := t.Dim(d)
+				if dirs[d] == topology.Plus {
+					coord[d] = (cs[d] + u[d]) % k
+				} else {
+					coord[d] = ((cs[d]-u[d])%k + k) % k
+				}
+			}
+			node := t.RankOf(coord)
+			inv := pu / float64(remain)
+			for d := 0; d < nd; d++ {
+				left := dists[d] - u[d]
+				if left == 0 {
+					continue
+				}
+				frac := inv * float64(left)
+				dv.Add(t.ChannelID(node, d, dirs[d]), frac)
+				p[idx+strides[d]] += frac
+			}
+		}
+		incOffset(u, shape)
+	}
+}

@@ -1,0 +1,162 @@
+package routing
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"rahtm/internal/topology"
+)
+
+// TestDeltaVecBasics exercises the sparse accumulator invariants.
+func TestDeltaVecBasics(t *testing.T) {
+	dv := NewDeltaVec(8)
+	if dv.Size() != 8 || dv.NumTouched() != 0 || dv.Max() != 0 {
+		t.Fatalf("fresh DeltaVec: size=%d touched=%d max=%v", dv.Size(), dv.NumTouched(), dv.Max())
+	}
+	dv.Add(3, 1.5)
+	dv.Add(5, 2.0)
+	dv.Add(3, 0.5)
+	if got := dv.Value(3); got != 2.0 {
+		t.Fatalf("Value(3) = %v, want 2", got)
+	}
+	if got := dv.Value(0); got != 0 {
+		t.Fatalf("Value(0) = %v, want 0", got)
+	}
+	if dv.NumTouched() != 2 {
+		t.Fatalf("NumTouched = %d, want 2", dv.NumTouched())
+	}
+	if dv.Max() != 2.0 {
+		t.Fatalf("Max = %v, want 2", dv.Max())
+	}
+	base := []float64{0, 0, 0, 1, 0, 0.25, 0, 0}
+	if got := dv.MaxOver(base, 1); got != 3.0 {
+		t.Fatalf("MaxOver = %v, want 3", got)
+	}
+	dense := make([]float64, 8)
+	dv.AddTo(dense)
+	if dense[3] != 2.0 || dense[5] != 2.0 {
+		t.Fatalf("AddTo: %v", dense)
+	}
+
+	dv.Reset()
+	if dv.NumTouched() != 0 || dv.Value(3) != 0 {
+		t.Fatalf("after Reset: touched=%d val3=%v", dv.NumTouched(), dv.Value(3))
+	}
+	dv.Add(3, 7)
+	if dv.Value(3) != 7 || dv.NumTouched() != 1 {
+		t.Fatalf("after Reset+Add: val3=%v touched=%d", dv.Value(3), dv.NumTouched())
+	}
+}
+
+func TestDeltaVecSnapshotTranslate(t *testing.T) {
+	dv := NewDeltaVec(32)
+	dv.Add(2, 0.75)
+	dv.Add(9, 1.25)
+	dv.Add(2, 0.25)
+	snap := dv.Snapshot()
+	if len(snap.Ch) != 2 || len(snap.Val) != 2 {
+		t.Fatalf("snapshot shape: %+v", snap)
+	}
+
+	// Replay shifted by 10 into a fresh accumulator.
+	dv2 := NewDeltaVec(32)
+	dv2.AddSnapshot(snap, 10)
+	if dv2.Value(12) != 1.0 || dv2.Value(19) != 1.25 {
+		t.Fatalf("AddSnapshot: ch12=%v ch19=%v", dv2.Value(12), dv2.Value(19))
+	}
+
+	dense := make([]float64, 32)
+	snap.AddSnapshotTo(dense, 10)
+	if dense[12] != 1.0 || dense[19] != 1.25 {
+		t.Fatalf("AddSnapshotTo: %v %v", dense[12], dense[19])
+	}
+
+	// Snapshot is frozen: resetting the source must not affect it.
+	dv.Reset()
+	if snap.Val[0] != 1.0 && snap.Val[1] != 1.0 {
+		t.Fatalf("snapshot mutated by Reset: %+v", snap)
+	}
+}
+
+// TestAddLoadsDeltaBitwise asserts the core contract: for any flow, the
+// per-channel totals deposited by AddLoadsDelta are bit-identical (==, not
+// approximately equal) to the totals AddLoads deposits into a zeroed dense
+// vector. Covers wrap ties (torus distance exactly k/2), mesh dimensions,
+// and the cache-disabled direct DP.
+func TestAddLoadsDeltaBitwise(t *testing.T) {
+	shapes := []struct {
+		name string
+		topo *topology.Torus
+	}{
+		{"torus-4x4", topology.NewTorus(4, 4)},
+		{"mesh-5x3", topology.NewMesh(5, 3)},
+		{"torus-4x4x4", topology.NewTorus(4, 4, 4)},
+		{"torus-4x4x4x4x2", topology.NewTorus(4, 4, 4, 4, 2)},
+	}
+	for _, alg := range []MinimalAdaptive{{}, {DisableCache: true}} {
+		name := "cached"
+		if alg.DisableCache {
+			name = "direct"
+		}
+		for _, sh := range shapes {
+			t.Run(name+"/"+sh.name, func(t *testing.T) {
+				topo := sh.topo
+				rng := rand.New(rand.NewSource(7))
+				n := topo.N()
+				dense := make([]float64, topo.NumChannels())
+				dv := NewDeltaVec(topo.NumChannels())
+				for trial := 0; trial < 50; trial++ {
+					src := rng.Intn(n)
+					dst := rng.Intn(n)
+					vol := 1 + rng.Float64()*9
+					for i := range dense {
+						dense[i] = 0
+					}
+					alg.AddLoads(topo, src, dst, vol, dense)
+					dv.Reset()
+					alg.AddLoadsDelta(topo, src, dst, vol, dv)
+
+					nz := 0
+					for ch, want := range dense {
+						if want != 0 {
+							nz++
+						}
+						if got := dv.Value(ch); got != want {
+							t.Fatalf("trial %d flow %d->%d vol %v: ch %d delta %v dense %v (diff %g)",
+								trial, src, dst, vol, ch, got, want, math.Abs(got-want))
+						}
+					}
+					if dv.NumTouched() < nz {
+						t.Fatalf("trial %d: delta touched %d channels, dense has %d non-zero",
+							trial, dv.NumTouched(), nz)
+					}
+					// And the sparse max equals the dense MCL bitwise.
+					if got, want := dv.Max(), MCL(dense); got != want {
+						t.Fatalf("trial %d: sparse max %v, dense MCL %v", trial, got, want)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestAddLoadsDeltaTieEnumeration pins the wrap-tie case explicitly: on a
+// 4-ring, distance 2 admits both directions and the flow splits.
+func TestAddLoadsDeltaTieEnumeration(t *testing.T) {
+	topo := topology.NewTorus(4)
+	alg := MinimalAdaptive{}
+	dense := make([]float64, topo.NumChannels())
+	alg.AddLoads(topo, 0, 2, 8, dense)
+	dv := NewDeltaVec(topo.NumChannels())
+	alg.AddLoadsDelta(topo, 0, 2, 8, dv)
+	for ch, want := range dense {
+		if got := dv.Value(ch); got != want {
+			t.Fatalf("ch %d: delta %v dense %v", ch, got, want)
+		}
+	}
+	// Both directions carry half the volume across two hops each.
+	if dv.NumTouched() != 4 {
+		t.Fatalf("tie flow should touch 4 channels, touched %d", dv.NumTouched())
+	}
+}

@@ -55,18 +55,35 @@ func (a MinimalAdaptive) AddLoads(t *topology.Torus, src, dst int, vol float64, 
 	if src == dst || vol == 0 {
 		return
 	}
-	nd := t.NumDims()
-	sc := getScratch(nd)
+	sc := getScratch(t.NumDims())
 	defer putScratch(sc)
 	cs := t.CoordOf(src, sc.cs)
 	cd := t.CoordOf(dst, sc.cd)
+	numCombos := prepareDirs(t, cs, cd, sc)
+	comboVol := vol / float64(numCombos)
+	for mask := 0; mask < numCombos; mask++ {
+		for b, d := range sc.ties {
+			if mask&(1<<uint(b)) == 0 {
+				sc.dirs[d] = topology.Plus
+			} else {
+				sc.dirs[d] = topology.Minus
+			}
+		}
+		a.routeBox(t, cs, sc.dirs, sc.dists, comboVol, loads, sc)
+	}
+}
 
-	// Per-dimension minimal direction choices. Ties (torus distance exactly
-	// k/2) admit both directions; every combination of choices contributes
-	// the same number of minimal paths, so combinations weigh equally.
+// prepareDirs fills sc.dirs/sc.dists with the per-dimension minimal
+// direction choices for the flow cs→cd and records tied dimensions in
+// sc.ties. Ties (torus distance exactly k/2) admit both directions; every
+// combination of choices contributes the same number of minimal paths, so
+// combinations weigh equally. Returns the number of direction combinations
+// (2^len(ties)). Shared by the dense (AddLoads) and sparse (AddLoadsDelta)
+// evaluators so their routing decisions cannot drift apart.
+func prepareDirs(t *topology.Torus, cs, cd []int, sc *scratch) int {
 	dirs, dists := sc.dirs, sc.dists
 	numCombos := 1
-	for d := 0; d < nd; d++ {
+	for d := 0; d < t.NumDims(); d++ {
 		dirs[d], dists[d] = 0, 0
 		x, y := cs[d], cd[d]
 		if x == y {
@@ -89,24 +106,13 @@ func (a MinimalAdaptive) AddLoads(t *topology.Torus, src, dst int, vol float64, 
 		case minus < plus:
 			dirs[d], dists[d] = topology.Minus, minus
 		default:
-			// Tie: both directions are minimal. Enumerated below.
+			// Tie: both directions are minimal; the caller enumerates.
 			dirs[d], dists[d] = topology.Plus, plus
 			sc.ties = append(sc.ties, d)
 			numCombos *= 2
 		}
 	}
-
-	comboVol := vol / float64(numCombos)
-	for mask := 0; mask < numCombos; mask++ {
-		for b, d := range sc.ties {
-			if mask&(1<<uint(b)) == 0 {
-				dirs[d] = topology.Plus
-			} else {
-				dirs[d] = topology.Minus
-			}
-		}
-		a.routeBox(t, cs, dirs, dists, comboVol, loads, sc)
-	}
+	return numCombos
 }
 
 // routeBox deposits one direction-combination's loads, through the stencil

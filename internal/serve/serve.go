@@ -319,15 +319,23 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 }
 
 // retryAfterSeconds estimates when a rejected client should try again: the
-// mean observed solve latency times the queue it would sit behind, floored
-// at one second.
+// mean observed solve latency times the queue it would sit behind, clamped
+// to [1, 60] seconds.
 func (s *Server) retryAfterSeconds() int {
-	n, sum := histLatency.Count(), histLatency.Sum()
+	return retryAfterHint(histLatency.Count(), histLatency.Sum(), s.cfg.QueueDepth, s.cfg.Workers)
+}
+
+// retryAfterHint computes the Retry-After estimate from n observed solves
+// summing sumMS milliseconds of latency. The hint is always at least one
+// second — a Retry-After of 0 invites an immediate retry storm against a
+// full queue — and at most 60 so one pathological solve cannot park
+// clients for minutes.
+func retryAfterHint(n int64, sumMS float64, queueDepth, workers int) int {
 	if n == 0 {
 		return 1
 	}
-	meanMS := sum / float64(n)
-	secs := int(meanMS*float64(s.cfg.QueueDepth)/float64(s.cfg.Workers)) / 1000
+	meanMS := sumMS / float64(n)
+	secs := int(meanMS*float64(queueDepth)/float64(workers)) / 1000
 	if secs < 1 {
 		return 1
 	}

@@ -517,3 +517,24 @@ func TestConcurrentRequests(t *testing.T) {
 		t.Errorf("concurrent request failed: %s", e)
 	}
 }
+
+// TestRetryAfterHintClamped pins the Retry-After clamp: a hint below one
+// second (no history, or a fast service) must round up to 1 — zero invites
+// an immediate retry storm — and a pathological backlog caps at 60.
+func TestRetryAfterHintClamped(t *testing.T) {
+	if got := retryAfterHint(0, 0, 8, 2); got != 1 {
+		t.Fatalf("no history: hint %d, want 1", got)
+	}
+	// 5ms mean over a queue of 8 with 2 workers: well under a second.
+	if got := retryAfterHint(10, 50, 8, 2); got != 1 {
+		t.Fatalf("fast solves: hint %d, want 1", got)
+	}
+	// 2s mean, queue 4, 2 workers: 4 seconds, inside the clamp.
+	if got := retryAfterHint(5, 10000, 4, 2); got != 4 {
+		t.Fatalf("mid-range: hint %d, want 4", got)
+	}
+	// 100s mean over a deep queue: capped at 60.
+	if got := retryAfterHint(2, 200000, 32, 1); got != 60 {
+		t.Fatalf("backlog: hint %d, want 60", got)
+	}
+}

@@ -52,6 +52,8 @@ const (
 	CtrBeamCandidates = "merge.beam.candidates"
 	CtrBeamKept       = "merge.beam.kept"
 	CtrSymmetryEvals  = "merge.symmetry.evals"
+	CtrDeltaHits      = "merge.delta.hits"      // combos scored by the sparse delta evaluator
+	CtrDeltaFallbacks = "merge.delta.fallbacks" // combos scored by dense exact recompute
 
 	// trace: communication-profile ingestion.
 	CtrTraceP2P   = "trace.p2p.records"
