@@ -5,7 +5,7 @@
 //	rahtm-bench -fig 9            # comm/comp fractions    (Figure 9)
 //	rahtm-bench -fig 10           # communication time     (Figure 10)
 //	rahtm-bench -fig opt          # optimization time      (Section V-B)
-//	rahtm-bench -fig scale        # 512/4096/16384 scaling trajectory
+//	rahtm-bench -fig scale        # 512/4k/16k/64k scaling trajectory
 //	rahtm-bench -fig all
 //
 // Scale and topology are adjustable:
@@ -43,7 +43,7 @@ func main() {
 		procs    = flag.Int("procs", 256, "number of MPI processes")
 		conc     = flag.Int("conc", 4, "processes per node (concentration factor)")
 		fig      = flag.String("fig", "all", "which result to regenerate: 8, 9, 10, opt, scale, or all")
-		scaleMax = flag.Int("scale-max", 16384, "-fig scale: largest process count of the 512/4096/16384 ladder to run")
+		scaleMax = flag.Int("scale-max", 16384, "-fig scale: largest process count of the 512/4096/16384/65536 ladder to run")
 		beam     = flag.Int("beam", 0, "Phase 3 beam width override (0 = paper default 64)")
 		orient   = flag.Int("orient", 0, "Phase 3 orientation cap override (0 = default)")
 		timeout  = flag.Duration("timeout", 0, "time budget for the whole run; on expiry RAHTM degrades to best-so-far mappings (client mode: per-request deadline)")
@@ -54,6 +54,7 @@ func main() {
 		verbose  = flag.Bool("verbose", false, "trace pipeline phases and solver progress to stderr")
 		jsonOut  = flag.String("json", "", "also write machine-readable results (per-case MCL, wall times, pipeline phase stats, counter deltas) to this file")
 		pprofOut = flag.String("pprof", "", "write a CPU profile to this file")
+		memOut   = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		metrics  = flag.String("metrics-addr", "", "serve live telemetry (expvar /debug/vars + /metrics progress snapshot) on this address while benchmarking")
 		traceOut = flag.String("trace-out", "", "write the RAHTM scheduler span timeline here (Chrome trace-event JSON; a .jsonl suffix selects JSONL)")
 		report   = flag.Bool("report", false, "print the end-of-run telemetry report to stderr")
@@ -141,6 +142,17 @@ func main() {
 			fatal(err)
 		}
 		defer pprof.StopCPUProfile()
+	}
+	if *memOut != "" {
+		defer func() {
+			f, err := os.Create(*memOut)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // settle live-heap accounting before the snapshot
+			must(pprof.WriteHeapProfile(f))
+		}()
 	}
 
 	fmt.Printf("RAHTM evaluation on %s, %d processes, concentration %d\n\n", t, *procs, *conc)
@@ -374,18 +386,22 @@ func writeJSON(path string, t *rahtm.Torus, procs, conc, workers int, fig string
 }
 
 // scaleJSON is one rung of the -fig scale ladder: the pipeline phase row
-// plus the configuration it ran at and the end-to-end wall time.
+// plus the configuration it ran at, the end-to-end wall time, and the
+// process's peak RSS when the rung finished. The RSS is a high-water mark,
+// so it is monotone across rungs; the last rung's value is the run's peak.
 type scaleJSON struct {
-	Procs    int     `json:"procs"`
-	Topology string  `json:"topology"`
-	Conc     int     `json:"conc"`
-	WallMS   float64 `json:"wall_ms"`
+	Procs     int     `json:"procs"`
+	Topology  string  `json:"topology"`
+	Conc      int     `json:"conc"`
+	WallMS    float64 `json:"wall_ms"`
+	PeakRSSMB float64 `json:"peak_rss_mb"`
 	pipelineJSON
 }
 
 // scaleLadder is the §V scaling ladder: a periodic 2-D halo exchange (the
 // only suite workload whose process grid exists at every rung) on the
-// BG/Q-style 2-ary tori at 512, 4096 and the paper's full 16,384 processes.
+// BG/Q-style 2-ary tori at 512, 4096, the paper's full 16,384 processes,
+// and a 65,536-process rung on a 2048-node torus.
 var scaleLadder = []struct {
 	procs, rows, cols int
 	topo              string
@@ -394,6 +410,7 @@ var scaleLadder = []struct {
 	{512, 16, 32, "4x4x4x2", 4},
 	{4096, 64, 64, "4x4x4x4", 16},
 	{16384, 128, 128, "4x4x4x4x2", 32},
+	{65536, 256, 256, "4x4x4x4x4x2", 32},
 }
 
 // scaleTrajectory runs the ladder up to maxProcs and reports one row per
@@ -401,7 +418,7 @@ var scaleLadder = []struct {
 // effort to each rung individually.
 func scaleTrajectory(ctx context.Context, m rahtm.Mapper, maxProcs int) []scaleJSON {
 	fmt.Println("pipeline scaling trajectory (halo-2d)")
-	fmt.Printf("%-7s %-10s %6s %12s %12s %10s %12s\n", "procs", "topology", "conc", "merge", "wall", "mcl", "delta-evals")
+	fmt.Printf("%-7s %-12s %6s %12s %12s %10s %12s %10s\n", "procs", "topology", "conc", "merge", "wall", "mcl", "delta-evals", "peak-rss")
 	var out []scaleJSON
 	for _, lvl := range scaleLadder {
 		if lvl.procs > maxProcs {
@@ -421,18 +438,19 @@ func scaleTrajectory(ctx context.Context, m rahtm.Mapper, maxProcs int) []scaleJ
 			Topology:     t.String(),
 			Conc:         lvl.conc,
 			WallMS:       ms(wall),
+			PeakRSSMB:    peakRSSMB(),
 			pipelineJSON: pipelineRow(w, res, err),
 		}
 		row.addMetrics(rahtm.Metrics().Sub(prev))
 		out = append(out, row)
 		if err != nil {
-			fmt.Printf("%-7d %-10s %6d  error: %v\n", lvl.procs, lvl.topo, lvl.conc, err)
+			fmt.Printf("%-7d %-12s %6d  error: %v\n", lvl.procs, lvl.topo, lvl.conc, err)
 			continue
 		}
-		fmt.Printf("%-7d %-10s %6d %12v %12v %10.3f %12d\n",
+		fmt.Printf("%-7d %-12s %6d %12v %12v %10.3f %12d %8.0fMB\n",
 			lvl.procs, lvl.topo, lvl.conc,
 			res.Stats.MergeTime.Round(time.Millisecond), wall.Round(time.Millisecond),
-			res.MCL, row.DeltaHits+row.DeltaFallbacks)
+			res.MCL, row.DeltaHits+row.DeltaFallbacks, row.PeakRSSMB)
 	}
 	return out
 }

@@ -1,0 +1,6 @@
+//go:build !linux
+
+package main
+
+// peakRSSMB is unavailable off Linux; the scale report records 0.
+func peakRSSMB() float64 { return 0 }

@@ -1,0 +1,86 @@
+package rahtm
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"rahtm/internal/core"
+	"rahtm/internal/workload"
+)
+
+// TestFrozenPathByteIdentical pins the CSR contract end to end: for every
+// mapper the bench exercises (StandardMappers: the permutation baselines,
+// Hilbert, RHT, and the RAHTM pipeline itself), solving with the map-backed
+// builder graph and with its frozen CSR clone must produce the same mapping
+// and a bit-identical MCL. The RAHTM entry drives the pipeline through
+// core.MapPartitionedCtx directly, because the public Solve entry freezes
+// its input — which would leave the map path unexercised.
+func TestFrozenPathByteIdentical(t *testing.T) {
+	cases := []struct {
+		topo       []int
+		conc       int
+		rows, cols int
+	}{
+		{[]int{4, 4}, 4, 8, 8},
+		{[]int{2, 2, 2}, 4, 8, 4},
+	}
+	for _, tc := range cases {
+		tp := NewTorus(tc.topo...)
+		for _, m := range StandardMappers(tp) {
+			wBuilder := workload.Halo2D(tc.rows, tc.cols, 1)
+			frozen := *wBuilder
+			frozen.Graph = wBuilder.Graph.Clone().Freeze()
+			wFrozen := &frozen
+
+			var mapA, mapB Mapping
+			if rm, ok := m.(Mapper); ok {
+				cfg := PipelineConfig{
+					Concentration: tc.conc,
+					GridDims:      wBuilder.Grid,
+					Leaf:          rm.Leaf,
+					Merge:         rm.Merge,
+				}
+				resA, err := core.MapPartitionedCtx(context.Background(), wBuilder.Graph, tp, cfg)
+				if err != nil {
+					t.Fatalf("%v %s builder path: %v", tc.topo, m.Name(), err)
+				}
+				resB, err := core.MapPartitionedCtx(context.Background(), wFrozen.Graph, tp, cfg)
+				if err != nil {
+					t.Fatalf("%v %s frozen path: %v", tc.topo, m.Name(), err)
+				}
+				if wBuilder.Graph.Frozen() {
+					t.Fatalf("%v %s: pipeline froze the caller's builder graph", tc.topo, m.Name())
+				}
+				mapA, mapB = resA.ProcToNode, resB.ProcToNode
+			} else {
+				var err error
+				mapA, err = m.MapProcs(wBuilder, tp, tc.conc)
+				if err != nil {
+					t.Fatalf("%v %s builder path: %v", tc.topo, m.Name(), err)
+				}
+				mapB, err = m.MapProcs(wFrozen, tp, tc.conc)
+				if err != nil {
+					t.Fatalf("%v %s frozen path: %v", tc.topo, m.Name(), err)
+				}
+			}
+
+			if len(mapA) != len(mapB) {
+				t.Fatalf("%v %s: mapping lengths differ: %d vs %d", tc.topo, m.Name(), len(mapA), len(mapB))
+			}
+			for i := range mapA {
+				if mapA[i] != mapB[i] {
+					t.Fatalf("%v %s: mapping differs at task %d: %d vs %d",
+						tc.topo, m.Name(), i, mapA[i], mapB[i])
+				}
+			}
+			// MCL evaluated over each representation: same mapping, same
+			// traversal order, so the float bits must agree exactly.
+			mclA := MCL(tp, wBuilder.Graph, mapA)
+			mclB := MCL(tp, wFrozen.Graph, mapB)
+			if math.Float64bits(mclA) != math.Float64bits(mclB) {
+				t.Fatalf("%v %s: MCL bits differ: %v (map) vs %v (CSR)", tc.topo, m.Name(), mclA, mclB)
+			}
+		}
+	}
+}

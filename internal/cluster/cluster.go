@@ -187,11 +187,11 @@ func heavyEdgePairs(g *graph.Comm) []int {
 		w    float64
 	}
 	var edges []edge
-	for _, f := range g.Flows() {
-		if f.Src < f.Dst {
-			edges = append(edges, edge{f.Src, f.Dst, f.Vol + g.Traffic(f.Dst, f.Src)})
+	g.EachFlow(func(s, d int, vol float64) {
+		if s < d {
+			edges = append(edges, edge{s, d, vol + g.Traffic(d, s)})
 		}
-	}
+	})
 	sort.Slice(edges, func(i, j int) bool {
 		if edges[i].w > edges[j].w {
 			return true

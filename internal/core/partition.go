@@ -235,10 +235,10 @@ func partitionBySizes(g *graph.Comm, sizes []int) ([][]int, error) {
 	for i := range adjW {
 		adjW[i] = make(map[int]float64)
 	}
-	for _, f := range g.Flows() {
-		adjW[f.Src][f.Dst] += f.Vol
-		adjW[f.Dst][f.Src] += f.Vol
-	}
+	g.EachFlow(func(s, d int, vol float64) {
+		adjW[s][d] += vol
+		adjW[d][s] += vol
+	})
 	for v := range adjW {
 		nbs := make([]int, 0, len(adjW[v]))
 		for nb := range adjW[v] {

@@ -103,13 +103,14 @@ func bisectGraph(g *graph.Comm, tasks []int, passes int) (lo, hi []int) {
 		adj[task] = make(map[int]float64)
 	}
 	for _, task := range tasks {
-		for _, nb := range g.Neighbors(task) {
-			if !inSet[nb] {
+		nbs, vols := g.Edges(task)
+		for i, nb := range nbs {
+			if !inSet[int(nb)] {
 				continue
 			}
-			v := g.Traffic(task, nb)
-			adj[task][nb] += v
-			adj[nb][task] += v
+			v := vols[i]
+			adj[task][int(nb)] += v
+			adj[int(nb)][task] += v
 		}
 	}
 	// D value: external - internal connectivity.

@@ -360,10 +360,10 @@ func (GreedyHopBytes) MapProcs(w *workload.Workload, t *topology.Torus, conc int
 	n := w.Procs()
 	// Order: total symmetric volume descending, rank ascending tie-break.
 	vol := make([]float64, n)
-	for _, f := range g.Flows() {
-		vol[f.Src] += f.Vol
-		vol[f.Dst] += f.Vol
-	}
+	g.EachFlow(func(s, d int, v float64) {
+		vol[s] += v
+		vol[d] += v
+	})
 	order := make([]int, n)
 	for i := range order {
 		order[i] = i
@@ -375,10 +375,10 @@ func (GreedyHopBytes) MapProcs(w *workload.Workload, t *topology.Torus, conc int
 	for i := range adj {
 		adj[i] = make(map[int]float64)
 	}
-	for _, f := range g.Flows() {
-		adj[f.Src][f.Dst] += f.Vol
-		adj[f.Dst][f.Src] += f.Vol
-	}
+	g.EachFlow(func(s, d int, v float64) {
+		adj[s][d] += v
+		adj[d][s] += v
+	})
 
 	free := make([]int, t.N()) // remaining capacity per node
 	for i := range free {
@@ -448,9 +448,9 @@ func Default(t *topology.Torus) Permutation {
 // process mapping — what the network actually sees.
 func aggregateToNodes(g *graph.Comm, m topology.Mapping, numNodes int) *graph.Comm {
 	out := graph.New(numNodes)
-	for _, f := range g.Flows() {
-		out.AddTraffic(m[f.Src], m[f.Dst], f.Vol)
-	}
+	g.EachFlow(func(s, d int, vol float64) {
+		out.AddTraffic(m[s], m[d], vol)
+	})
 	return out
 }
 

@@ -58,16 +58,15 @@ func evaluate(ctx context.Context, t *topology.Torus, g *graph.Comm, m topology.
 	if len(m) != g.N() {
 		return nil, nil, fmt.Errorf("mcflow: mapping covers %d tasks, graph has %d", len(m), g.N())
 	}
-	flows := g.Flows()
 	// Aggregate task flows into node flows (tasks can share nodes).
 	agg := make(map[[2]int]float64)
-	for _, f := range flows {
-		s, d := m[f.Src], m[f.Dst]
+	g.EachFlow(func(fs, fd int, vol float64) {
+		s, d := m[fs], m[fd]
 		if s == d {
-			continue
+			return
 		}
-		agg[[2]int{s, d}] += f.Vol
-	}
+		agg[[2]int{s, d}] += vol
+	})
 	nf := make([]nodeFlow, 0, len(agg))
 	for k, v := range agg {
 		nf = append(nf, nodeFlow{src: k[0], dst: k[1], vol: v})

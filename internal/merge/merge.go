@@ -429,9 +429,11 @@ type merger struct {
 	done       <-chan struct{} // ctx.Done(), polled inside worker loops
 	obs        obs.Observer
 
-	// Per-task adjacency of the merged tasks, precomputed once so the
-	// scorers do not rebuild (and re-sort) neighbor lists per evaluation.
-	nbr  [][]int
+	// Per-task adjacency of the merged tasks. On a frozen graph these alias
+	// the CSR rows directly; on a builder graph they are compiled once here
+	// so the scorers never rebuild (or re-sort) neighbor lists per
+	// evaluation. Read-only either way.
+	nbr  [][]int32
 	nvol [][]float64
 	// taskChild/taskLocal invert the children's task lists: global task id
 	// -> owning child index and local index within that child (-1 for tasks
@@ -455,7 +457,7 @@ type flowScratch struct {
 // initAdjacency caches neighbor/volume lists for every task of the merge.
 func (m *merger) initAdjacency() {
 	n := m.g.N()
-	m.nbr = make([][]int, n)
+	m.nbr = make([][]int32, n)
 	m.nvol = make([][]float64, n)
 	m.taskChild = make([]int32, n)
 	m.taskLocal = make([]int32, n)
@@ -474,13 +476,7 @@ func (m *merger) initAdjacency() {
 			if m.nbr[t] != nil {
 				continue
 			}
-			ns := m.g.Neighbors(t)
-			vs := make([]float64, len(ns))
-			for i, d := range ns {
-				vs[i] = m.g.Traffic(t, d)
-			}
-			m.nbr[t] = ns
-			m.nvol[t] = vs
+			m.nbr[t], m.nvol[t] = m.g.Edges(t)
 		}
 	}
 	m.scratch.New = func() interface{} {

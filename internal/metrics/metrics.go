@@ -19,13 +19,13 @@ import (
 // under adaptive routing.
 func HopBytes(t *topology.Torus, g *graph.Comm, m topology.Mapping) float64 {
 	total := 0.0
-	for _, f := range g.Flows() {
-		s, d := m[f.Src], m[f.Dst]
+	g.EachFlow(func(fs, fd int, vol float64) {
+		s, d := m[fs], m[fd]
 		if s == d {
-			continue
+			return
 		}
-		total += f.Vol * float64(t.MinDistance(s, d))
-	}
+		total += vol * float64(t.MinDistance(s, d))
+	})
 	return total
 }
 
@@ -33,15 +33,15 @@ func HopBytes(t *topology.Torus, g *graph.Comm, m topology.Mapping) float64 {
 // volume (0 for empty graphs or fully co-located mappings).
 func Dilation(t *topology.Torus, g *graph.Comm, m topology.Mapping) int {
 	max := 0
-	for _, f := range g.Flows() {
-		s, d := m[f.Src], m[f.Dst]
+	g.EachFlow(func(fs, fd int, vol float64) {
+		s, d := m[fs], m[fd]
 		if s == d {
-			continue
+			return
 		}
 		if dd := t.MinDistance(s, d); dd > max {
 			max = dd
 		}
-	}
+	})
 	return max
 }
 
@@ -49,11 +49,11 @@ func Dilation(t *topology.Torus, g *graph.Comm, m topology.Mapping) int {
 // byte).
 func AvgDilation(t *topology.Torus, g *graph.Comm, m topology.Mapping) float64 {
 	vol := 0.0
-	for _, f := range g.Flows() {
-		if m[f.Src] != m[f.Dst] {
-			vol += f.Vol
+	g.EachFlow(func(fs, fd int, v float64) {
+		if m[fs] != m[fd] {
+			vol += v
 		}
-	}
+	})
 	if vol == 0 {
 		return 0
 	}

@@ -186,9 +186,9 @@ func (a MinimalAdaptive) AddLoadsDelta(t *topology.Torus, src, dst int, vol floa
 // accounting.
 func (a MinimalAdaptive) routeBoxDelta(t *topology.Torus, cs, dirs, dists []int, vol float64, dv *DeltaVec, sc *scratch) {
 	if !a.DisableCache {
-		if s := stencilFor(dists); s != nil {
+		if s := sc.stencilFor(dists); s != nil {
 			sc.hits.Inc()
-			s.applyDelta(t, cs, dirs, vol, dv, sc.coord)
+			s.applyDelta(t, cs, dirs, vol, dv, sc)
 			return
 		}
 	}
@@ -197,36 +197,23 @@ func (a MinimalAdaptive) routeBoxDelta(t *topology.Torus, cs, dirs, dists []int,
 }
 
 // applyDelta is stencil.apply depositing into a DeltaVec.
-func (s *stencil) applyDelta(t *topology.Torus, cs, dirs []int, vol float64, dv *DeltaVec, coord []int) {
+func (s *stencil) applyDelta(t *topology.Torus, cs, dirs []int, vol float64, dv *DeltaVec, sc *scratch) {
 	nd := s.nd
+	tab := sc.ints(s.tabLen)
+	s.fillChanTab(t, cs, dirs, tab)
+	chanOff := sc.chanOff
+	for d := 0; d < nd; d++ {
+		chanOff[d] = 2*d + dirs[d]
+	}
 	ei := 0
 	for c := 0; c < s.cells; c++ {
 		base := c * nd
+		nodeCh := 0
 		for d := 0; d < nd; d++ {
-			u := int(s.offs[base+d])
-			if u == 0 {
-				coord[d] = cs[d]
-				continue
-			}
-			k := t.Dim(d)
-			if dirs[d] == topology.Plus {
-				v := cs[d] + u
-				if v >= k {
-					v -= k
-				}
-				coord[d] = v
-			} else {
-				v := cs[d] - u
-				if v < 0 {
-					v += k
-				}
-				coord[d] = v
-			}
+			nodeCh += tab[s.offs[base+d]]
 		}
-		node := t.RankOf(coord)
 		for n := s.cnt[c]; n > 0; n-- {
-			d := int(s.dims[ei])
-			dv.Add(t.ChannelID(node, d, dirs[d]), s.fracs[ei]*vol)
+			dv.Add(nodeCh+chanOff[s.dims[ei]], s.fracs[ei]*vol)
 			ei++
 		}
 	}

@@ -122,9 +122,9 @@ func prepareDirs(t *topology.Torus, cs, cd []int, sc *scratch) int {
 // not serve them).
 func (a MinimalAdaptive) routeBox(t *topology.Torus, cs, dirs, dists []int, vol float64, loads []float64, sc *scratch) {
 	if !a.DisableCache {
-		if s := stencilFor(dists); s != nil {
+		if s := sc.stencilFor(dists); s != nil {
 			sc.hits.Inc()
-			s.apply(t, cs, dirs, vol, loads, sc.coord)
+			s.apply(t, cs, dirs, vol, loads, sc)
 			return
 		}
 	}
@@ -267,9 +267,9 @@ func ChannelLoads(t *topology.Torus, g *graph.Comm, m topology.Mapping, alg Algo
 		panic(fmt.Sprintf("routing: mapping covers %d tasks, graph has %d", len(m), g.N()))
 	}
 	loads := make([]float64, t.NumChannels())
-	for _, f := range g.Flows() {
-		alg.AddLoads(t, m[f.Src], m[f.Dst], f.Vol, loads)
-	}
+	g.EachFlow(func(s, d int, vol float64) {
+		alg.AddLoads(t, m[s], m[d], vol, loads)
+	})
 	return loads
 }
 

@@ -40,6 +40,12 @@ const (
 // consecutive (dims, fracs) entries. Cells appear in the DP's visit order,
 // so applying a stencil deposits loads in exactly the order the direct DP
 // would, keeping results reproducible run to run.
+//
+// offs holds table indices, not raw box offsets: the entry for cell c,
+// dimension d is tabOff(d)+u where u is the cell's box offset along d and
+// tabOff(d) is the running sum of shape[:d]. Resolving each index through a
+// per-flow channel-base table (fillChanTab) turns the per-cell node-rank
+// computation — wrap, RankOf, ChannelID — into nd loads and adds.
 type stencil struct {
 	nd    int
 	cells int
@@ -47,6 +53,42 @@ type stencil struct {
 	cnt   []int32
 	dims  []int8
 	fracs []float64
+	// shape[d] = dists[d]+1; tabLen = sum(shape) = channel-base table size.
+	shape  []int32
+	tabLen int
+}
+
+// fillChanTab writes the channel-base table for applying s to one concrete
+// flow: for dimension d and box offset u, tab[tabOff(d)+u] holds the
+// channels-per-node multiple of the rank contribution of the wrapped
+// coordinate cs[d] stepped u hops along dirs[d]. Summing one entry per
+// dimension yields node*2*nd — the base of the node's channel-id block.
+func (s *stencil) fillChanTab(t *topology.Torus, cs, dirs []int, tab []int) {
+	ti := 0
+	for d := 0; d < s.nd; d++ {
+		k := t.Dim(d)
+		m := 2 * s.nd * t.Stride(d)
+		c := cs[d]
+		if dirs[d] == topology.Plus {
+			for u := 0; u < int(s.shape[d]); u++ {
+				v := c + u
+				if v >= k {
+					v -= k
+				}
+				tab[ti] = m * v
+				ti++
+			}
+		} else {
+			for u := 0; u < int(s.shape[d]); u++ {
+				v := c - u
+				if v < 0 {
+					v += k
+				}
+				tab[ti] = m * v
+				ti++
+			}
+		}
+	}
 }
 
 var (
@@ -91,6 +133,35 @@ func stencilFor(dists []int) *stencil {
 	if !ok {
 		return nil
 	}
+	return stencilForKey(key, dists)
+}
+
+// stencilFor is stencilFor fronted by the scratch's direct-mapped memo.
+// Merge scoring routes millions of boxes drawn from a few hundred distinct
+// displacement vectors, so the interface-hashing sync.Map lookup is
+// measurable; the memo turns the common repeat into two array reads.
+// Stencils are immutable and never unpublished once returned, so memo
+// entries cannot go stale.
+func (sc *scratch) stencilFor(dists []int) *stencil {
+	key, ok := stencilKey(dists)
+	if !ok {
+		return nil
+	}
+	// Fibonacci-hash the key into a slot; keys are nonzero (they encode
+	// the dimension count), so the zero-initialized memo never false-hits.
+	slot := (key * 0x9e3779b97f4a7c15) >> (64 - stencilMemoBits)
+	if sc.memoKey[slot] == key {
+		return sc.memoVal[slot]
+	}
+	s := stencilForKey(key, dists)
+	if s != nil {
+		sc.memoKey[slot] = key
+		sc.memoVal[slot] = s
+	}
+	return s
+}
+
+func stencilForKey(key uint64, dists []int) *stencil {
 	if v, ok := stencilCache.Load(key); ok {
 		return v.(*stencil)
 	}
@@ -127,7 +198,13 @@ func buildStencil(dists []int) *stencil {
 		s *= shape[d]
 	}
 
-	st := &stencil{nd: nd}
+	st := &stencil{nd: nd, shape: make([]int32, nd)}
+	tabOff := make([]int32, nd)
+	for d := 0; d < nd; d++ {
+		st.shape[d] = int32(shape[d])
+		tabOff[d] = int32(st.tabLen)
+		st.tabLen += shape[d]
+	}
 	p := make([]float64, total)
 	p[0] = 1
 	u := make([]int, nd)
@@ -144,7 +221,7 @@ func buildStencil(dists []int) *stencil {
 		if remain > 0 {
 			st.cells++
 			for d := 0; d < nd; d++ {
-				st.offs = append(st.offs, int32(u[d]))
+				st.offs = append(st.offs, tabOff[d]+int32(u[d]))
 			}
 			n := int32(0)
 			inv := pu / float64(remain)
@@ -167,38 +244,25 @@ func buildStencil(dists []int) *stencil {
 }
 
 // apply translates the stencil to a concrete flow: source coordinate cs,
-// travel directions dirs, vol units of traffic. coord is caller scratch of
-// length nd.
-func (s *stencil) apply(t *topology.Torus, cs, dirs []int, vol float64, loads []float64, coord []int) {
+// travel directions dirs, vol units of traffic. sc supplies the channel-base
+// table storage. Deposit order matches the direct DP exactly.
+func (s *stencil) apply(t *topology.Torus, cs, dirs []int, vol float64, loads []float64, sc *scratch) {
 	nd := s.nd
+	tab := sc.ints(s.tabLen)
+	s.fillChanTab(t, cs, dirs, tab)
+	chanOff := sc.chanOff
+	for d := 0; d < nd; d++ {
+		chanOff[d] = 2*d + dirs[d]
+	}
 	ei := 0
 	for c := 0; c < s.cells; c++ {
 		base := c * nd
+		nodeCh := 0
 		for d := 0; d < nd; d++ {
-			u := int(s.offs[base+d])
-			if u == 0 {
-				coord[d] = cs[d]
-				continue
-			}
-			k := t.Dim(d)
-			if dirs[d] == topology.Plus {
-				v := cs[d] + u
-				if v >= k {
-					v -= k
-				}
-				coord[d] = v
-			} else {
-				v := cs[d] - u
-				if v < 0 {
-					v += k
-				}
-				coord[d] = v
-			}
+			nodeCh += tab[s.offs[base+d]]
 		}
-		node := t.RankOf(coord)
 		for n := s.cnt[c]; n > 0; n-- {
-			d := int(s.dims[ei])
-			loads[t.ChannelID(node, d, dirs[d])] += s.fracs[ei] * vol
+			loads[nodeCh+chanOff[s.dims[ei]]] += s.fracs[ei] * vol
 			ei++
 		}
 	}
@@ -211,11 +275,23 @@ type scratch struct {
 	cs, cd, dirs, dists, coord, ties []int
 	shape, strides, u                []int
 	p                                []float64
+	// tab holds a stencil's per-flow channel-base table; chanOff holds the
+	// per-dimension channel-id remainder 2*d+dirs[d] for the current flow.
+	tab, chanOff []int
+	// memoKey/memoVal form a direct-mapped stencil memo that short-circuits
+	// the process-wide sync.Map on repeat displacement vectors.
+	memoKey [stencilMemoSize]uint64
+	memoVal [stencilMemoSize]*stencil
 	// hits/misses are striped cache-counter handles, claimed once per
 	// scratch so the per-flow hot path increments without cross-CPU
 	// contention.
 	hits, misses *telemetry.LocalCounter
 }
+
+const (
+	stencilMemoBits = 7
+	stencilMemoSize = 1 << stencilMemoBits
+)
 
 var scratchPool = sync.Pool{New: func() interface{} {
 	return &scratch{
@@ -234,8 +310,17 @@ func getScratch(nd int) *scratch {
 	sc.shape = grow(sc.shape, nd)
 	sc.strides = grow(sc.strides, nd)
 	sc.u = grow(sc.u, nd)
+	sc.chanOff = grow(sc.chanOff, nd)
 	sc.ties = sc.ties[:0]
 	return sc
+}
+
+// ints returns an integer scratch of length n (contents undefined).
+func (sc *scratch) ints(n int) []int {
+	if cap(sc.tab) < n {
+		sc.tab = make([]int, n)
+	}
+	return sc.tab[:n]
 }
 
 func putScratch(sc *scratch) { scratchPool.Put(sc) }

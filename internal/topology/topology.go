@@ -79,6 +79,10 @@ func (t *Torus) NumDims() int { return len(t.dims) }
 // Dim returns the size of dimension d.
 func (t *Torus) Dim(d int) int { return t.dims[d] }
 
+// Stride returns the rank stride of dimension d: ranks are row-major over
+// the dimension list, so moving one step along d changes the rank by this.
+func (t *Torus) Stride(d int) int { return t.strides[d] }
+
 // Dims returns a copy of the dimension sizes.
 func (t *Torus) Dims() []int { return append([]int(nil), t.dims...) }
 

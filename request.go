@@ -346,6 +346,11 @@ func solve(ctx context.Context, req Request, measure bool) (*Result, error) {
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.DeadlineMS)*time.Millisecond)
 		defer cancel()
 	}
+	// The graph is fully built by now: compile it to the frozen CSR form so
+	// every traversal below — clustering, leaf solves, merge cross-edge
+	// precomputation, metrics — is an allocation-free scan. Derived graphs
+	// (coarsened, induced, node-aggregated) inherit frozen-ness.
+	w.Graph.Freeze()
 
 	start := time.Now()
 	res := &Result{Mapper: mapper.Name(), Workload: w.Name, Topology: t.String()}
