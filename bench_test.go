@@ -11,6 +11,7 @@ package rahtm
 // cmd/rahtm-bench tool exposes the paper-scale configuration.
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sync"
@@ -409,4 +410,39 @@ func BenchmarkPipelineTelemetry(b *testing.B) {
 			b.ReportMetric(phase23, "phase23-ms")
 		})
 	}
+}
+
+// BenchmarkRequestScopedTelemetry measures the cost of per-request metric
+// attribution: the same solve with and without a telemetry scope on the
+// context. The contract (DESIGN.md §8 and §13) is that attribution stays
+// within the 2% telemetry budget — the batched flush sites make a scope
+// one pointer comparison per flush, never per-iteration work, and the
+// scope's registry is touched once per batch rather than once per route.
+// BENCH_9.txt holds a committed comparison of the two variants.
+func BenchmarkRequestScopedTelemetry(b *testing.B) {
+	req := Request{
+		Work:        Halo3D(8, 8, 8, 10), // 512 processes
+		Torus:       NewTorus(4, 4, 8),   // 128 nodes, concentration 4
+		Conc:        4,
+		Parallelism: 4,
+	}
+	b.Run("scope=off", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Solve(context.Background(), req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("scope=on", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ctx := WithScope(context.Background(), NewScope(""))
+			res, err := Solve(ctx, req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Metrics) == 0 {
+				b.Fatal("scoped solve attributed no metrics")
+			}
+		}
+	})
 }

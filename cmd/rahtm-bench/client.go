@@ -37,12 +37,28 @@ type serveJSON struct {
 	P95MS       float64 `json:"p95_ms"`
 	P99MS       float64 `json:"p99_ms"`
 	WallMS      float64 `json:"wall_ms"`
+	// Slowest echoes the daemon's /debug/requests slowest board after the
+	// run, so the report links straight to the traces worth examining.
+	Slowest []slowTrace `json:"slowest,omitempty"`
+}
+
+// slowTrace is one row of the daemon's slowest-completed board — the
+// subset of the /debug/requests entry the report cares about.
+type slowTrace struct {
+	TraceID  string  `json:"trace_id"`
+	Workload string  `json:"workload,omitempty"`
+	Mapper   string  `json:"mapper,omitempty"`
+	QueueMS  float64 `json:"queue_ms,omitempty"`
+	WallMS   float64 `json:"wall_ms"`
+	Status   string  `json:"status"`
+	Cached   bool    `json:"cached,omitempty"`
 }
 
 // clientOutcome is one request's client-side observation.
 type clientOutcome struct {
 	latency  time.Duration
 	status   int
+	trace    string // X-Rahtm-Trace-Id response header
 	cached   bool
 	degraded bool
 	err      error
@@ -103,6 +119,7 @@ func runServeClient(addr string, ws []*rahtm.Workload, topo []int, conc, request
 
 	rep := summarize(base, requests, concurrency, outcomes)
 	rep.WallMS = ms(wall)
+	rep.Slowest = fetchSlowTraces(client, base, 5)
 	printServeReport(rep, outcomes)
 
 	if jsonOut != "" {
@@ -129,7 +146,7 @@ func oneRequest(client *http.Client, base string, body []byte) clientOutcome {
 		return clientOutcome{latency: time.Since(start), status: -1, err: err}
 	}
 	defer resp.Body.Close()
-	out := clientOutcome{status: resp.StatusCode}
+	out := clientOutcome{status: resp.StatusCode, trace: resp.Header.Get("X-Rahtm-Trace-Id")}
 	var res rahtm.Result
 	if resp.StatusCode == http.StatusOK {
 		if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
@@ -196,6 +213,29 @@ func percentile(sorted []float64, q float64) float64 {
 	return sorted[i]
 }
 
+// fetchSlowTraces pulls the daemon's slowest-completed board after the
+// run; failures degrade to an empty list (the load report stands alone).
+func fetchSlowTraces(client *http.Client, base string, n int) []slowTrace {
+	resp, err := client.Get(base + "/debug/requests")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	var view struct {
+		Slowest []slowTrace `json:"slowest"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		return nil
+	}
+	if len(view.Slowest) > n {
+		view.Slowest = view.Slowest[:n]
+	}
+	return view.Slowest
+}
+
 func printServeReport(rep serveJSON, outcomes []clientOutcome) {
 	fmt.Printf("\n%d ok, %d rejected (429), %d errors in %v\n",
 		rep.OK, rep.Rejected, rep.Errors, time.Duration(rep.WallMS*float64(time.Millisecond)).Round(time.Millisecond))
@@ -213,6 +253,23 @@ func printServeReport(rep serveJSON, outcomes []clientOutcome) {
 	fmt.Printf("cache     : %d/%d hits (%.0f%%)\n", rep.CacheHits, rep.OK, 100*rep.CacheRate)
 	if rep.Degraded > 0 {
 		fmt.Printf("degraded  : %d completions hit their deadline\n", rep.Degraded)
+	}
+	for _, o := range outcomes {
+		if o.status == http.StatusOK && o.trace != "" {
+			fmt.Printf("traces    : e.g. %s (X-Rahtm-Trace-Id; inspect via /debug/requests?trace=...)\n", o.trace)
+			break
+		}
+	}
+	if len(rep.Slowest) > 0 {
+		fmt.Printf("slowest   :\n")
+		for _, t := range rep.Slowest {
+			label := t.Status
+			if t.Cached {
+				label += " cached"
+			}
+			fmt.Printf("  %-16s  %-8s  queue %.1fms  wall %.1fms  %s\n",
+				t.TraceID, t.Workload, t.QueueMS, t.WallMS, label)
+		}
 	}
 }
 

@@ -1,0 +1,61 @@
+// Command rahtm-promcheck validates a Prometheus text-exposition document
+// (version 0.0.4, the format rahtm-serve's /metrics speaks under
+// Accept: text/plain) read from a file or stdin:
+//
+//	curl -s -H 'Accept: text/plain' localhost:8080/metrics | rahtm-promcheck
+//	rahtm-promcheck metrics.prom
+//
+// It checks metric-name and label syntax, TYPE/HELP comment placement,
+// duplicate family declarations, and histogram shape (ascending bucket
+// bounds, non-decreasing cumulative counts, the +Inf bucket present and
+// equal to _count). Exit status 0 means valid; 1 means malformed, with the
+// reason on stderr. CI uses it to fail the e2e serve job on a bad scrape.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"rahtm/internal/telemetry"
+)
+
+func main() {
+	quiet := flag.Bool("q", false, "suppress the summary line on success")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	name := "<stdin>"
+	if flag.NArg() > 1 {
+		fmt.Fprintln(os.Stderr, "rahtm-promcheck: at most one input file")
+		os.Exit(2)
+	}
+	if flag.NArg() == 1 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rahtm-promcheck:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		in, name = f, flag.Arg(0)
+	}
+
+	families, err := telemetry.ParsePrometheus(in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rahtm-promcheck: %s: %v\n", name, err)
+		os.Exit(1)
+	}
+	if len(families) == 0 {
+		fmt.Fprintf(os.Stderr, "rahtm-promcheck: %s: no metric families\n", name)
+		os.Exit(1)
+	}
+	if !*quiet {
+		samples := 0
+		for _, f := range families {
+			samples += len(f.Samples)
+		}
+		fmt.Printf("%s: valid Prometheus exposition (%d families, %d samples)\n",
+			name, len(families), samples)
+	}
+}

@@ -7,7 +7,14 @@
 //
 //	curl -s localhost:8080/solve -d '{"workload":"CG","topo":[4,4,4],"conc":4}'
 //	curl -s localhost:8080/healthz
-//	curl -s localhost:8080/metrics
+//	curl -s localhost:8080/metrics                       # JSON
+//	curl -s -H 'Accept: text/plain' localhost:8080/metrics  # Prometheus text
+//	curl -s localhost:8080/debug/requests
+//
+// Every /solve response carries an X-Rahtm-Trace-Id header (honoring one
+// sent by the client); /debug/requests shows in-flight requests and the
+// slowest completed traces with their span timelines. Lifecycle events are
+// structured JSON logs on stderr (-log-level tunes verbosity).
 //
 // SIGINT/SIGTERM drains gracefully: admission stops, queued and in-flight
 // solves finish (up to -drain), then the process exits.
@@ -18,10 +25,12 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -30,16 +39,23 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		workers = flag.Int("workers", 2, "concurrent solves")
-		queue   = flag.Int("queue", 64, "admission queue depth beyond in-flight solves (overflow gets 429)")
-		cacheN  = flag.Int("cache", 1024, "content-addressed result cache entries (negative disables)")
-		maxDL   = flag.Duration("max-deadline", 2*time.Minute, "cap on per-request solve budgets (0 = uncapped)")
-		maxPar  = flag.Int("max-parallelism", 0, "cap on per-solve pipeline workers (0 = as requested)")
-		maxBody = flag.Int64("max-body", 16<<20, "request body size limit, bytes")
-		drain   = flag.Duration("drain", 30*time.Second, "graceful-shutdown grace for queued and in-flight solves")
+		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("workers", 2, "concurrent solves")
+		queue    = flag.Int("queue", 64, "admission queue depth beyond in-flight solves (overflow gets 429)")
+		cacheN   = flag.Int("cache", 1024, "content-addressed result cache entries (negative disables)")
+		maxDL    = flag.Duration("max-deadline", 2*time.Minute, "cap on per-request solve budgets (0 = uncapped)")
+		maxPar   = flag.Int("max-parallelism", 0, "cap on per-solve pipeline workers (0 = as requested)")
+		maxBody  = flag.Int64("max-body", 16<<20, "request body size limit, bytes")
+		drain    = flag.Duration("drain", 30*time.Second, "graceful-shutdown grace for queued and in-flight solves")
+		slowN    = flag.Int("slow-traces", 32, "slowest completed traces retained for /debug/requests (negative disables)")
+		logLevel = flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
 	)
 	flag.Parse()
+
+	logger, err := newLogger(*logLevel)
+	if err != nil {
+		fatal(err)
+	}
 
 	srv := serve.New(context.Background(), serve.Config{
 		Workers:        *workers,
@@ -48,6 +64,8 @@ func main() {
 		MaxDeadline:    *maxDL,
 		MaxParallelism: *maxPar,
 		MaxBodyBytes:   *maxBody,
+		SlowTraces:     *slowN,
+		Logger:         logger,
 	})
 	httpSrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
 
@@ -55,7 +73,9 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "rahtm-serve: listening on http://%s (POST /solve, GET /healthz, GET /metrics)\n", ln.Addr())
+	logger.Info("listening", "addr", ln.Addr().String(),
+		"endpoints", "POST /solve, GET /healthz, GET /metrics, GET /debug/requests",
+		"workers", *workers, "queue", *queue)
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
@@ -68,16 +88,34 @@ func main() {
 	case <-ctx.Done():
 	}
 
-	fmt.Fprintf(os.Stderr, "rahtm-serve: draining (grace %v)\n", *drain)
+	logger.Info("draining", "grace", drain.String())
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(drainCtx); err != nil {
-		fmt.Fprintf(os.Stderr, "rahtm-serve: drain grace expired; in-flight solves canceled\n")
+		logger.Warn("drain grace expired; in-flight solves canceled")
 	}
 	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		fmt.Fprintf(os.Stderr, "rahtm-serve: http shutdown: %v\n", err)
+		logger.Warn("http shutdown", "err", err.Error())
 	}
-	fmt.Fprintln(os.Stderr, "rahtm-serve: stopped")
+	logger.Info("stopped")
+}
+
+// newLogger builds the daemon's JSON logger on stderr at the named level.
+func newLogger(level string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info", "":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (want debug, info, warn or error)", level)
+	}
+	return slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: lv})), nil
 }
 
 func fatal(err error) {

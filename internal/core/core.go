@@ -156,6 +156,7 @@ func MapProcessesCtx(ctx context.Context, proc *graph.Comm, t *topology.Torus, c
 		return nil, err
 	}
 	o := obs.OrNop(cfg.Observer)
+	scope := telemetry.ScopeFrom(ctx)
 	conc := cfg.Concentration
 	if conc <= 0 {
 		conc = 1
@@ -305,8 +306,8 @@ func MapProcessesCtx(ctx context.Context, proc *graph.Comm, t *topology.Torus, c
 			}
 		}
 		obs.EmitSpan(o, "fanout", obs.PhaseMap, -1, d, 0, fanStart, time.Since(fanStart))
-		ctrSubproblems.Add(int64(len(parents))) //rahtm:allow(telemetrybatch): flushes once per level, already batched from the fan-out loop
-		ctrSubproblemHits.Add(int64(levelHits)) //rahtm:allow(telemetrybatch): flushes once per level, already batched from the fan-out loop
+		scope.CounterOr(telemetry.CtrSubproblems, ctrSubproblems).Add(int64(len(parents)))    //rahtm:allow(telemetrybatch): flushes once per level, already batched from the fan-out loop
+		scope.CounterOr(telemetry.CtrSubproblemHits, ctrSubproblemHits).Add(int64(levelHits)) //rahtm:allow(telemetrybatch): flushes once per level, already batched from the fan-out loop
 	}
 	res.Stats.MapTime = time.Since(start)
 	res.Stats.MapWorkTime = time.Duration(mapWork.Load())
@@ -320,13 +321,14 @@ func MapProcessesCtx(ctx context.Context, proc *graph.Comm, t *topology.Torus, c
 	leavesStart := time.Now()
 	blocks := make([]*merge.Block, len(members[L-1]))
 	leafShape := h.CubeShape(L - 1)
+	leafAlg := routing.MinimalAdaptive{}.WithScope(scope)
 	for i, kids := range members[L-1] {
 		local := make(topology.Mapping, len(kids))
 		for j, kid := range kids {
 			local[j] = pins[L-1][kid]
 		}
 		sub, _ := nodeGraph.InducedSubgraph(kids)
-		mcl := hiermap.Evaluate(sub, leafShape, false, local)
+		mcl := hiermap.EvaluateWith(sub, leafShape, false, local, leafAlg)
 		blocks[i] = merge.NewLeafBlock(kids, leafShape, local, mcl)
 	}
 	obs.EmitSpan(o, "leaves", obs.PhaseMerge, -1, L-1, 0, leavesStart, time.Since(leavesStart))
@@ -413,8 +415,8 @@ func MapProcessesCtx(ctx context.Context, proc *graph.Comm, t *topology.Torus, c
 			}
 		}
 		obs.EmitSpan(o, "fanout", obs.PhaseMerge, -1, d, 0, fanStart, time.Since(fanStart))
-		ctrMerges.Add(int64(len(parents))) //rahtm:allow(telemetrybatch): flushes once per level, already batched from the fan-out loop
-		ctrMergeHits.Add(int64(levelHits)) //rahtm:allow(telemetrybatch): flushes once per level, already batched from the fan-out loop
+		scope.CounterOr(telemetry.CtrMerges, ctrMerges).Add(int64(len(parents)))    //rahtm:allow(telemetrybatch): flushes once per level, already batched from the fan-out loop
+		scope.CounterOr(telemetry.CtrMergeHits, ctrMergeHits).Add(int64(levelHits)) //rahtm:allow(telemetrybatch): flushes once per level, already batched from the fan-out loop
 		blocks = next
 	}
 	res.Stats.MergeTime = time.Since(start)
@@ -442,13 +444,13 @@ func MapProcessesCtx(ctx context.Context, proc *graph.Comm, t *topology.Torus, c
 		return nil, fmt.Errorf("core: produced invalid node mapping: %w", err)
 	}
 	res.NodeGraph = nodeGraph
-	res.MCL = routing.MaxChannelLoad(t, nodeGraph, res.NodeMapping, routing.MinimalAdaptive{})
+	res.MCL = routing.MaxChannelLoad(t, nodeGraph, res.NodeMapping, routing.MinimalAdaptive{}.WithScope(scope))
 
 	// Safety net: the beam search is heuristic, and on workloads the
 	// default order already embeds perfectly it can land above it. Compare
 	// against the identity (default) node order and keep the better — the
 	// paper's evaluation never loses to ABCDET, and neither do we.
-	idMCL := routing.MaxChannelLoad(t, nodeGraph, topology.Identity(t.N()), routing.MinimalAdaptive{})
+	idMCL := routing.MaxChannelLoad(t, nodeGraph, topology.Identity(t.N()), routing.MinimalAdaptive{}.WithScope(scope))
 	if idMCL < res.MCL {
 		res.NodeMapping = topology.Identity(t.N())
 		res.MCL = idMCL

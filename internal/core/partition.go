@@ -9,6 +9,7 @@ import (
 	"rahtm/internal/cluster"
 	"rahtm/internal/graph"
 	"rahtm/internal/routing"
+	"rahtm/internal/telemetry"
 	"rahtm/internal/topology"
 )
 
@@ -119,7 +120,7 @@ func MapPartitionedCtx(ctx context.Context, proc *graph.Comm, t *topology.Torus,
 	for p := 0; p < proc.N(); p++ {
 		out.ProcToNode[p] = nodeMapping[procToTask[p]]
 	}
-	out.MCL = routing.MaxChannelLoad(t, nodeGraph, nodeMapping, routing.MinimalAdaptive{})
+	out.MCL = routing.MaxChannelLoad(t, nodeGraph, nodeMapping, routing.MinimalAdaptive{}.WithScope(telemetry.ScopeFrom(ctx)))
 	return out, nil
 }
 

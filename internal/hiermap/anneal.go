@@ -24,7 +24,10 @@ type incEval struct {
 	moves   int // accepted/attempted moves since the last full rebuild
 }
 
-func newIncEval(g *graph.Comm, cube *topology.Torus, start topology.Mapping) *incEval {
+// newIncEval builds the evaluator; alg routes the flows, so a request-scoped
+// evaluator (routing.MinimalAdaptive.WithScope) attributes the annealing
+// loop's stencil traffic to its request.
+func newIncEval(g *graph.Comm, cube *topology.Torus, start topology.Mapping, alg routing.MinimalAdaptive) *incEval {
 	flows := g.Flows()
 	byTask := make([][]int, g.N())
 	for idx, f := range flows {
@@ -38,6 +41,7 @@ func newIncEval(g *graph.Comm, cube *topology.Torus, start topology.Mapping) *in
 		flows:  flows,
 		byTask: byTask,
 		cur:    start.Clone(),
+		alg:    alg,
 		seen:   make([]int, len(flows)),
 	}
 	e.rebuild()

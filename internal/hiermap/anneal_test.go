@@ -21,7 +21,7 @@ func TestIncEvalMatchesFullEvaluation(t *testing.T) {
 		for e := 0; e < 20; e++ {
 			g.AddTraffic(rng.Intn(8), rng.Intn(8), float64(1+rng.Intn(9)))
 		}
-		ev := newIncEval(g, cube, topology.Mapping(rng.Perm(8)))
+		ev := newIncEval(g, cube, topology.Mapping(rng.Perm(8)), routing.MinimalAdaptive{})
 		for step := 0; step < 200; step++ {
 			i, j := rng.Intn(8), rng.Intn(8)
 			if i == j {
@@ -51,7 +51,7 @@ func TestIncEvalSwapUndo(t *testing.T) {
 	g.AddTraffic(0, 1, 5)
 	g.AddTraffic(2, 3, 2)
 	g.AddTraffic(0, 3, 1)
-	ev := newIncEval(g, cube, topology.Identity(4))
+	ev := newIncEval(g, cube, topology.Identity(4), routing.MinimalAdaptive{})
 	before := append([]float64(nil), ev.loads...)
 	ev.swap(0, 3)
 	ev.swap(0, 3)
@@ -67,7 +67,7 @@ func TestIncEvalPeriodicRebuild(t *testing.T) {
 	cube := topology.NewMesh(2, 2)
 	g := graph.New(4)
 	g.AddTraffic(0, 1, 3)
-	ev := newIncEval(g, cube, topology.Identity(4))
+	ev := newIncEval(g, cube, topology.Identity(4), routing.MinimalAdaptive{})
 	for k := 0; k < 9000; k++ {
 		ev.swap(0, 1)
 	}
@@ -99,7 +99,7 @@ func BenchmarkAnnealStepIncremental(b *testing.B) {
 	for e := 0; e < 200; e++ {
 		g.AddTraffic(rng.Intn(32), rng.Intn(32), float64(1+rng.Intn(9)))
 	}
-	ev := newIncEval(g, cube, topology.Identity(32))
+	ev := newIncEval(g, cube, topology.Identity(32), routing.MinimalAdaptive{})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ev.swap(rng.Intn(32), rng.Intn(32))

@@ -176,7 +176,14 @@ func cubeTopology(shape []int, torus bool) *topology.Torus {
 
 // Evaluate scores an existing placement with the uniform-split model.
 func Evaluate(g *graph.Comm, shape []int, torus bool, m topology.Mapping) float64 {
-	return routing.MaxChannelLoad(cubeTopology(shape, torus), g, m, routing.MinimalAdaptive{})
+	return EvaluateWith(g, shape, torus, m, routing.MinimalAdaptive{})
+}
+
+// EvaluateWith is Evaluate with a caller-supplied evaluator, so request-
+// scoped callers (routing.MinimalAdaptive.WithScope) keep their stencil
+// attribution.
+func EvaluateWith(g *graph.Comm, shape []int, torus bool, m topology.Mapping, alg routing.MinimalAdaptive) float64 {
+	return routing.MaxChannelLoad(cubeTopology(shape, torus), g, m, alg)
 }
 
 // solveExhaustive tries every placement. Feasible for cubes up to 8 nodes
@@ -193,7 +200,7 @@ func solveExhaustive(ctx context.Context, g *graph.Comm, cube *topology.Torus) (
 	}
 	best := append(topology.Mapping(nil), perm...)
 	bestMCL := math.Inf(1)
-	alg := routing.MinimalAdaptive{}
+	alg := routing.MinimalAdaptive{}.WithScope(telemetry.ScopeFrom(ctx))
 	// Heap's algorithm over placements.
 	c := make([]int, n)
 	evals := 0
@@ -278,15 +285,17 @@ func solveAnneal(ctx context.Context, g *graph.Comm, cube *topology.Torus, cfg C
 	bestMCL := math.Inf(1)
 	degraded := false
 	var moves, accepted, restartsRun int64
+	scope := telemetry.ScopeFrom(ctx)
+	alg := routing.MinimalAdaptive{}.WithScope(scope)
 	defer func() {
-		ctrAnnealMoves.Add(moves)
-		ctrAnnealAccepted.Add(accepted)
-		ctrAnnealRestarts.Add(restartsRun)
+		scope.CounterOr(telemetry.CtrAnnealMoves, ctrAnnealMoves).Add(moves)
+		scope.CounterOr(telemetry.CtrAnnealAccepted, ctrAnnealAccepted).Add(accepted)
+		scope.CounterOr(telemetry.CtrAnnealRestarts, ctrAnnealRestarts).Add(restartsRun)
 	}()
 restartLoop:
 	for r := 0; r < restarts; r++ {
 		restartsRun++
-		ev := newIncEval(g, cube, topology.Mapping(rng.Perm(n)))
+		ev := newIncEval(g, cube, topology.Mapping(rng.Perm(n)), alg)
 		curMCL := ev.mcl()
 		if curMCL < bestMCL {
 			bestMCL = curMCL

@@ -10,6 +10,7 @@ import (
 	"rahtm/internal/milp"
 	"rahtm/internal/obs"
 	"rahtm/internal/routing"
+	"rahtm/internal/telemetry"
 	"rahtm/internal/topology"
 )
 
@@ -206,7 +207,7 @@ func solveMILP(ctx context.Context, g *graph.Comm, cube *topology.Torus, shape [
 	}
 	return &Result{
 		Mapping:  mapping,
-		MCL:      routing.MaxChannelLoad(cube, g, mapping, routing.MinimalAdaptive{}),
+		MCL:      routing.MaxChannelLoad(cube, g, mapping, routing.MinimalAdaptive{}.WithScope(telemetry.ScopeFrom(ctx))),
 		Method:   MILP,
 		Proved:   res.Status == milp.Optimal,
 		Degraded: expired(ctx),
@@ -256,7 +257,7 @@ func buildIncumbent(ctx context.Context, g *graph.Comm, mesh, cube *topology.Tor
 	}
 	maxLoad := 0.0
 	loads := make([]float64, mesh.NumChannels())
-	alg := routing.MinimalAdaptive{}
+	alg := routing.MinimalAdaptive{}.WithScope(telemetry.ScopeFrom(ctx))
 	for i, fl := range flows {
 		for j := range loads {
 			loads[j] = 0

@@ -22,6 +22,8 @@ import (
 	"fmt"
 	"math"
 	"strings"
+
+	"rahtm/internal/telemetry"
 )
 
 // Sense is the relational operator of a constraint row.
@@ -219,6 +221,11 @@ type Options struct {
 	MaxIters int
 	// Tol is the feasibility/optimality tolerance; <= 0 selects 1e-9.
 	Tol float64
+
+	// scope, when non-nil, receives the solve/pivot counters instead of
+	// the process-wide registry. SolveCtx fills it from the context; the
+	// field is unexported so callers cannot desynchronize it from ctx.
+	scope *telemetry.Scope
 }
 
 // ErrBadProblem is returned for structurally invalid problems.
@@ -237,6 +244,7 @@ func (p *Problem) SolveOpts(opt Options) (*Solution, error) {
 // cancellation the returned Solution has Status Canceled and the error is
 // non-nil.
 func (p *Problem) SolveCtx(ctx context.Context, opt Options) (*Solution, error) {
+	opt.scope = telemetry.ScopeFrom(ctx)
 	sol, err := solveSimplex(p, opt, ctx.Done())
 	if err != nil {
 		return sol, err

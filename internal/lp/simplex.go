@@ -93,8 +93,10 @@ func solveSimplex(p *Problem, opt Options, cancel <-chan struct{}) (*Solution, e
 
 	sol := &Solution{X: make([]float64, n)}
 	defer func() {
-		ctrLPSolves.Inc()
-		ctrLPPivots.Add(int64(sol.Iters))
+		// Effort accounting, batched to one flush per solve; a request
+		// scope (set by SolveCtx) claims the counts for its own registry.
+		opt.scope.CounterOr(telemetry.CtrLPSolves, ctrLPSolves).Inc()
+		opt.scope.CounterOr(telemetry.CtrLPPivots, ctrLPPivots).Add(int64(sol.Iters))
 	}()
 
 	// Phase 1: minimize the sum of artificial variables.

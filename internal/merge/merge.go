@@ -384,6 +384,8 @@ func MergeCtx(ctx context.Context, g *graph.Comm, children []*Block, cubeShape [
 	m.ctx = ctx
 	m.done = ctx.Done()
 	m.obs = obs.OrNop(cfg.Observer)
+	m.scope = telemetry.ScopeFrom(ctx)
+	m.alg = routing.MinimalAdaptive{}.WithScope(m.scope)
 	m.initAdjacency()
 	return m.run()
 }
@@ -428,6 +430,11 @@ type merger struct {
 	ctx        context.Context
 	done       <-chan struct{} // ctx.Done(), polled inside worker loops
 	obs        obs.Observer
+	// scope is the request scope carried by ctx (nil outside the daemon);
+	// alg is the shared evaluator, scoped so every scorer's stencil
+	// traffic is attributed to the owning request.
+	scope *telemetry.Scope
+	alg   routing.MinimalAdaptive
 
 	// Per-task adjacency of the merged tasks. On a frozen graph these alias
 	// the CSR rows directly; on a builder graph they are compiled once here
@@ -530,7 +537,7 @@ func (m *merger) placement(child int, cand Candidate, o Orientation) []int {
 // addFlows adds the loads of all graph flows between the two task->position
 // maps (a may equal b for internal flows) into loads.
 func (m *merger) addFlows(aTasks []int, aPos []int, bTasks []int, bPos []int, loads []float64, includeInternal bool) {
-	alg := routing.MinimalAdaptive{}
+	alg := m.alg
 	fs := m.scratch.Get().(*flowScratch)
 	fs.gen++
 	gen := fs.gen
@@ -571,7 +578,7 @@ func (m *merger) addFlows(aTasks []int, aPos []int, bTasks []int, bPos []int, lo
 // same flows in the same order, so per-channel totals match the dense path
 // bit-for-bit (see routing.AddLoadsDelta).
 func (m *merger) addFlowsDelta(aTasks []int, aPos []int, bTasks []int, bPos []int, dv *routing.DeltaVec, includeInternal bool) {
-	alg := routing.MinimalAdaptive{}
+	alg := m.alg
 	fs := m.scratch.Get().(*flowScratch)
 	fs.gen++
 	gen := fs.gen
@@ -718,8 +725,8 @@ func (m *merger) mergeOrder() []int {
 			defer wg.Done()
 			var evals int64
 			//rahtm:allow(telemetrybatch): flushes a per-worker local once at worker exit, not per iteration
-			defer func() { ctrSymmetryEvals.Add(evals) }()
-			alg := routing.MinimalAdaptive{}
+			defer func() { m.scope.CounterOr(telemetry.CtrSymmetryEvals, ctrSymmetryEvals).Add(evals) }()
+			alg := m.alg
 			dv := routing.NewDeltaVec(m.parent.NumChannels())
 			for pi := lo; pi < hi; pi++ {
 				select {
@@ -883,7 +890,7 @@ func (m *merger) crossEdgesFor(order []int, step int, childStep []int32) []cross
 // addCrossEdgesDelta routes the step's cross flows for the child placed at
 // cp (task local index -> parent rank) against the state's placements.
 func (m *merger) addCrossEdgesDelta(edges []crossEdge, st *state, cp []int, dv *routing.DeltaVec) {
-	alg := routing.MinimalAdaptive{}
+	alg := m.alg
 	for _, e := range edges {
 		pp := st.pos[e.s][e.oi]
 		if e.toChild {
@@ -896,7 +903,7 @@ func (m *merger) addCrossEdgesDelta(edges []crossEdge, st *state, cp []int, dv *
 
 // addCrossEdges is addCrossEdgesDelta into a dense vector, same flow order.
 func (m *merger) addCrossEdges(edges []crossEdge, st *state, cp []int, loads []float64) {
-	alg := routing.MinimalAdaptive{}
+	alg := m.alg
 	for _, e := range edges {
 		pp := st.pos[e.s][e.oi]
 		if e.toChild {
@@ -934,10 +941,10 @@ func (m *merger) run() (*Block, error) {
 	degraded := false
 	var candGen, candKept, deltaHits, deltaFalls int64
 	defer func() {
-		ctrBeamCandidates.Add(candGen)
-		ctrBeamKept.Add(candKept)
-		ctrDeltaHits.Add(deltaHits)
-		ctrDeltaFallbacks.Add(deltaFalls)
+		m.scope.CounterOr(telemetry.CtrBeamCandidates, ctrBeamCandidates).Add(candGen)
+		m.scope.CounterOr(telemetry.CtrBeamKept, ctrBeamKept).Add(candKept)
+		m.scope.CounterOr(telemetry.CtrDeltaHits, ctrDeltaHits).Add(deltaHits)
+		m.scope.CounterOr(telemetry.CtrDeltaFallbacks, ctrDeltaFallbacks).Add(deltaFalls)
 	}()
 
 	// The beam starts from the empty configuration; step 0 seeds it with

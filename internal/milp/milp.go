@@ -219,9 +219,10 @@ func (p *Problem) SolveCtx(ctx context.Context, opt Options) *Result {
 	}
 
 	res := &Result{Status: Unknown, Bound: math.Inf(-1)}
+	scope := telemetry.ScopeFrom(ctx)
 	defer func() {
-		ctrMILPSolves.Inc()
-		ctrMILPNodes.Add(int64(res.Nodes))
+		scope.CounterOr(telemetry.CtrMILPSolves, ctrMILPSolves).Inc()
+		scope.CounterOr(telemetry.CtrMILPNodes, ctrMILPNodes).Add(int64(res.Nodes))
 	}()
 	s := &search{
 		p:      p,

@@ -179,6 +179,7 @@ func (a MinimalAdaptive) AddLoadsDelta(t *topology.Torus, src, dst int, vol floa
 		}
 		a.routeBoxDelta(t, cs, sc.dirs, sc.dists, comboVol, dv, sc)
 	}
+	sc.flushStencil(a)
 }
 
 // routeBoxDelta is routeBox with a DeltaVec sink: stencil cache when the
@@ -187,12 +188,12 @@ func (a MinimalAdaptive) AddLoadsDelta(t *topology.Torus, src, dst int, vol floa
 func (a MinimalAdaptive) routeBoxDelta(t *topology.Torus, cs, dirs, dists []int, vol float64, dv *DeltaVec, sc *scratch) {
 	if !a.DisableCache {
 		if s := sc.stencilFor(dists); s != nil {
-			sc.hits.Inc()
+			sc.nhits++
 			s.applyDelta(t, cs, dirs, vol, dv, sc)
 			return
 		}
 	}
-	sc.misses.Inc()
+	sc.nmisses++
 	addMinimalBoxLoadsDelta(t, cs, dirs, dists, vol, dv, sc)
 }
 

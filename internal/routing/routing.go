@@ -20,6 +20,7 @@ import (
 	"math"
 
 	"rahtm/internal/graph"
+	"rahtm/internal/telemetry"
 	"rahtm/internal/topology"
 )
 
@@ -43,10 +44,29 @@ type MinimalAdaptive struct {
 	// and direct results agree up to floating-point rounding; the switch
 	// exists for A/B validation and benchmarking.
 	DisableCache bool
+
+	// hits/misses, when set by WithScope, receive the stencil-cache
+	// accounting instead of the process-wide counters, attributing the
+	// evaluator's work to one request.
+	hits, misses *telemetry.Counter
 }
 
 // Name implements Algorithm.
 func (MinimalAdaptive) Name() string { return "minimal-adaptive" }
+
+// WithScope returns a copy of a whose stencil-cache hit/miss accounting
+// lands in scope's request-local registry instead of the process-wide
+// counters (rahtm.Solve merges the request's delta back into the global
+// registry at request end). A nil scope returns a unchanged, so call sites
+// can pass telemetry.ScopeFrom(ctx) unconditionally.
+func (a MinimalAdaptive) WithScope(scope *telemetry.Scope) MinimalAdaptive {
+	if scope == nil {
+		return a
+	}
+	a.hits = scope.Counter(telemetry.CtrStencilHits)
+	a.misses = scope.Counter(telemetry.CtrStencilMisses)
+	return a
+}
 
 // AddLoads implements Algorithm. A negative vol subtracts the flow's loads
 // — incremental evaluators use this to retract a previously added flow.
@@ -71,6 +91,7 @@ func (a MinimalAdaptive) AddLoads(t *topology.Torus, src, dst int, vol float64, 
 		}
 		a.routeBox(t, cs, sc.dirs, sc.dists, comboVol, loads, sc)
 	}
+	sc.flushStencil(a)
 }
 
 // prepareDirs fills sc.dirs/sc.dists with the per-dimension minimal
@@ -123,12 +144,12 @@ func prepareDirs(t *topology.Torus, cs, cd []int, sc *scratch) int {
 func (a MinimalAdaptive) routeBox(t *topology.Torus, cs, dirs, dists []int, vol float64, loads []float64, sc *scratch) {
 	if !a.DisableCache {
 		if s := sc.stencilFor(dists); s != nil {
-			sc.hits.Inc()
+			sc.nhits++
 			s.apply(t, cs, dirs, vol, loads, sc)
 			return
 		}
 	}
-	sc.misses.Inc()
+	sc.nmisses++
 	addMinimalBoxLoads(t, cs, dirs, dists, vol, loads, sc)
 }
 

@@ -97,11 +97,13 @@ var (
 )
 
 // Cache telemetry. Hits and misses fire once per routed box — the hottest
-// counter in the process — so each pooled scratch carries striped local
-// handles (claimed in the pool's New func; sync.Pool's per-P affinity
-// spreads the stripes across CPUs). Builds and evictions are rare and use
-// the counters directly. "Evictions" counts stencils that were built and
-// then discarded: cell-budget rejections and lost publication races.
+// counter in the process — so the per-box path increments plain ints on the
+// scratch and flushStencil drains them once per AddLoads/AddLoadsDelta call
+// through striped local handles (claimed in the pool's New func; sync.Pool's
+// per-P affinity spreads the stripes across CPUs). Builds and evictions are
+// rare and use the counters directly. "Evictions" counts stencils that were
+// built and then discarded: cell-budget rejections and lost publication
+// races.
 var (
 	ctrStencilHits      = telemetry.Default.Counter(telemetry.CtrStencilHits)
 	ctrStencilMisses    = telemetry.Default.Counter(telemetry.CtrStencilMisses)
@@ -282,10 +284,42 @@ type scratch struct {
 	// the process-wide sync.Map on repeat displacement vectors.
 	memoKey [stencilMemoSize]uint64
 	memoVal [stencilMemoSize]*stencil
-	// hits/misses are striped cache-counter handles, claimed once per
-	// scratch so the per-flow hot path increments without cross-CPU
+	// nhits/nmisses batch the cache accounting of one AddLoads or
+	// AddLoadsDelta call as plain ints; flushStencil drains them once per
+	// call into the striped handles below.
+	nhits, nmisses int64
+	// hits/misses are striped process-wide cache-counter handles, claimed
+	// once per scratch so the per-call flush adds without cross-CPU
 	// contention.
 	hits, misses *telemetry.LocalCounter
+	// scopeKey/scopeHits/scopeMisses cache striped handles of a request
+	// scope's counters; re-claimed only when the scratch migrates to a
+	// different scope (scopeKey is the scope's hit counter, used as the
+	// scope identity).
+	scopeKey               *telemetry.Counter
+	scopeHits, scopeMisses *telemetry.LocalCounter
+}
+
+// flushStencil drains the call-batched hit/miss counts: into the request
+// scope's counters when the evaluator is scoped, into the process-wide
+// striped handles otherwise. The scoped path costs one pointer compare per
+// call; Local handles are claimed only when the scratch changes scopes.
+func (sc *scratch) flushStencil(a MinimalAdaptive) {
+	if sc.nhits == 0 && sc.nmisses == 0 {
+		return
+	}
+	h, m := sc.hits, sc.misses
+	if a.hits != nil {
+		if sc.scopeKey != a.hits {
+			sc.scopeKey = a.hits
+			sc.scopeHits = a.hits.Local()
+			sc.scopeMisses = a.misses.Local()
+		}
+		h, m = sc.scopeHits, sc.scopeMisses
+	}
+	h.Add(sc.nhits)
+	m.Add(sc.nmisses)
+	sc.nhits, sc.nmisses = 0, 0
 }
 
 const (

@@ -86,5 +86,10 @@ func cloneResult(r *rahtm.Result) *rahtm.Result {
 		out.Stats = &stats
 	}
 	out.Detail = nil
+	// A cached result is served under many requests: strip the producing
+	// solve's identity and counter attribution so every hit carries its
+	// own trace ID (stamped by the handler) and no stale metrics.
+	out.TraceID = ""
+	out.Metrics = nil
 	return &out
 }

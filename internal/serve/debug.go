@@ -1,0 +1,193 @@
+package serve
+
+// GET /debug/requests: live visibility into the daemon's traffic — the
+// in-flight request set and a bounded board of the slowest completed
+// traces, each carrying its per-phase span timeline and per-request
+// counter deltas. ?trace=<id> looks up one trace across both sets.
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"rahtm/internal/telemetry"
+)
+
+// maxSpansPerTrace bounds how many spans a retained trace keeps. Large
+// solves record one span per scheduler job — thousands for deep
+// hierarchies — and the debug endpoint only needs the shape of the
+// timeline, not every leaf; past the cap only the per-phase envelope
+// spans survive.
+const maxSpansPerTrace = 256
+
+// traceEntry is the debug view of one request, in flight or completed.
+type traceEntry struct {
+	TraceID  string           `json:"trace_id"`
+	Workload string           `json:"workload,omitempty"`
+	Mapper   string           `json:"mapper,omitempty"`
+	Start    time.Time        `json:"start"`
+	QueueMS  float64          `json:"queue_ms"`
+	WallMS   float64          `json:"wall_ms"`
+	Status   string           `json:"status"` // queued | solving | ok | degraded | error
+	Cached   bool             `json:"cached,omitempty"`
+	Error    string           `json:"error,omitempty"`
+	Metrics  map[string]int64 `json:"metrics,omitempty"`
+	Spans    []telemetry.Span `json:"spans,omitempty"`
+}
+
+// tracker maintains the in-flight request map and the slowest-completed
+// board. All methods are safe for concurrent use; entries handed out are
+// copies, so readers never race the worker mutating the originals.
+type tracker struct {
+	mu       sync.Mutex
+	max      int
+	inflight map[string]*traceEntry
+	slowest  []*traceEntry // sorted by WallMS descending, len <= max
+}
+
+func newTracker(max int) *tracker {
+	if max < 0 {
+		max = 0
+	}
+	return &tracker{max: max, inflight: make(map[string]*traceEntry)}
+}
+
+// start registers a newly admitted request.
+func (t *tracker) start(e *traceEntry) {
+	t.mu.Lock()
+	t.inflight[e.TraceID] = e
+	t.mu.Unlock()
+}
+
+// drop forgets an in-flight entry whose admission was rolled back.
+func (t *tracker) drop(id string) {
+	t.mu.Lock()
+	delete(t.inflight, id)
+	t.mu.Unlock()
+}
+
+// solving marks an in-flight entry as picked up by a worker.
+func (t *tracker) solving(id string, queueMS float64) {
+	t.mu.Lock()
+	if e := t.inflight[id]; e != nil {
+		e.Status = "solving"
+		e.QueueMS = queueMS
+	}
+	t.mu.Unlock()
+}
+
+// finish retires an in-flight entry: mutate fills in the outcome, then the
+// entry competes for a slot on the slowest board.
+func (t *tracker) finish(id string, mutate func(*traceEntry)) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e := t.inflight[id]
+	if e == nil {
+		return
+	}
+	delete(t.inflight, id)
+	mutate(e)
+	t.retain(e)
+}
+
+// record adds an already-completed entry (cache hits bypass the queue).
+func (t *tracker) record(e *traceEntry) {
+	t.mu.Lock()
+	t.retain(e)
+	t.mu.Unlock()
+}
+
+// retain inserts e into the slowest board, keeping it sorted by WallMS
+// descending and bounded at max. Caller holds the lock.
+func (t *tracker) retain(e *traceEntry) {
+	if t.max == 0 {
+		return
+	}
+	i := sort.Search(len(t.slowest), func(i int) bool { return t.slowest[i].WallMS < e.WallMS })
+	if i >= t.max {
+		return
+	}
+	t.slowest = append(t.slowest, nil)
+	copy(t.slowest[i+1:], t.slowest[i:])
+	t.slowest[i] = e
+	if len(t.slowest) > t.max {
+		t.slowest = t.slowest[:t.max]
+	}
+}
+
+// snapshot copies both sets: in-flight entries ordered oldest first, the
+// slowest board in its retained (descending WallMS) order. In-flight
+// copies report their age so far as WallMS.
+func (t *tracker) snapshot() (inflight, slowest []traceEntry) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := time.Now()
+	inflight = make([]traceEntry, 0, len(t.inflight))
+	for _, e := range t.inflight {
+		c := *e
+		c.WallMS = float64(now.Sub(c.Start)) / float64(time.Millisecond)
+		inflight = append(inflight, c)
+	}
+	sort.Slice(inflight, func(i, j int) bool { return inflight[i].Start.Before(inflight[j].Start) })
+	slowest = make([]traceEntry, len(t.slowest))
+	for i, e := range t.slowest {
+		slowest[i] = *e
+	}
+	return inflight, slowest
+}
+
+// get looks one trace up by ID, in-flight entries first.
+func (t *tracker) get(id string) (traceEntry, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if e := t.inflight[id]; e != nil {
+		c := *e
+		c.WallMS = float64(time.Since(c.Start)) / float64(time.Millisecond)
+		return c, true
+	}
+	for _, e := range t.slowest {
+		if e.TraceID == id {
+			return *e, true
+		}
+	}
+	return traceEntry{}, false
+}
+
+// trimSpans bounds a completed trace's span list: under the cap the full
+// timeline is kept; over it, only the per-phase envelope spans.
+func trimSpans(spans []telemetry.Span) []telemetry.Span {
+	if len(spans) <= maxSpansPerTrace {
+		return spans
+	}
+	var phases []telemetry.Span
+	for _, sp := range spans {
+		if sp.Name == "phase" {
+			phases = append(phases, sp)
+		}
+	}
+	return phases
+}
+
+// handleDebugRequests serves the tracker: the full view by default, one
+// trace under ?trace=<id> (404 when the ID is unknown or already evicted).
+func (s *Server) handleDebugRequests(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if id := r.URL.Query().Get("trace"); id != "" {
+		e, ok := s.tracker.get(id)
+		if !ok {
+			httpError(w, http.StatusNotFound, "no retained trace %q", id)
+			return
+		}
+		_ = enc.Encode(e)
+		return
+	}
+	inflight, slowest := s.tracker.snapshot()
+	_ = enc.Encode(map[string]any{
+		"inflight": inflight,
+		"slowest":  slowest,
+	})
+}

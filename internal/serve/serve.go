@@ -10,10 +10,19 @@
 // the request's structural hash, so identical subproblems across requests
 // hit the cache the way identical siblings do within a run.
 //
-// The daemon also serves GET /healthz (liveness + queue state) and mounts
-// the existing telemetry endpoint (GET /metrics, GET /debug/vars) on the
-// same mux; per-request counters (queue wait, cache hit/miss, degraded
+// Every request is traced end to end: the handler draws a trace ID (or
+// honors an incoming X-Rahtm-Trace-Id), attaches a request-local telemetry
+// scope and span recorder to the solve context, and answers with the trace
+// ID in the response header and body. The per-request counter deltas come
+// back in Result.Metrics; GET /debug/requests exposes the in-flight set and
+// a board of the slowest completed traces with their span timelines.
+//
+// The daemon also serves GET /healthz (liveness, build info, queue state)
+// and mounts the existing telemetry endpoint (GET /metrics — JSON or
+// Prometheus text by content negotiation — and GET /debug/vars) on the same
+// mux; per-request counters (queue wait, cache hit/miss, degraded
 // completions, rejections) land in the process-wide telemetry registry.
+// Lifecycle events go to Config.Logger as structured logs.
 package serve
 
 import (
@@ -21,7 +30,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
+	"runtime/debug"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -43,7 +55,18 @@ var (
 	ctrErrors      = telemetry.Default.Counter(telemetry.CtrServeErrors)
 	histQueueWait  = telemetry.Default.Histogram(telemetry.HistServeQueueWait, telemetry.ServeLatencyBounds)
 	histLatency    = telemetry.Default.Histogram(telemetry.HistServeLatency, telemetry.ServeLatencyBounds)
+
+	gaugeQueueDepth = telemetry.Default.Gauge(telemetry.GaugeServeQueueDepth)
+	gaugeInflight   = telemetry.Default.Gauge(telemetry.GaugeServeInflight)
 )
+
+// TraceHeader carries the request trace ID: honored when the client sends
+// it on POST /solve, and always present on the response.
+const TraceHeader = "X-Rahtm-Trace-Id"
+
+// QueueHeader reports, on solved (non-cached) responses, how long the
+// request waited for a worker, in milliseconds.
+const QueueHeader = "X-Rahtm-Queue-Ms"
 
 // Config tunes the daemon. The zero value serves with 2 solver workers, a
 // 64-deep queue, and a 1024-entry result cache.
@@ -69,6 +92,12 @@ type Config struct {
 	MaxParallelism int
 	// MaxBodyBytes bounds the request body (0 = 16 MiB).
 	MaxBodyBytes int64
+	// SlowTraces bounds the /debug/requests board of slowest completed
+	// requests (0 = 32, negative disables retention).
+	SlowTraces int
+	// Logger receives the daemon's structured access and lifecycle logs.
+	// Nil discards them; cmd/rahtm-serve passes a JSON handler.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -84,6 +113,14 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 16 << 20
 	}
+	if c.SlowTraces == 0 {
+		c.SlowTraces = 32
+	}
+	if c.Logger == nil {
+		// slog has no stdlib discard handler until go1.24; an impossible
+		// level on a TextHandler is the portable equivalent.
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.Level(127)}))
+	}
 	return c
 }
 
@@ -92,7 +129,11 @@ type job struct {
 	req      rahtm.Request
 	key      string
 	ctx      context.Context // request-scoped (canceled when the client goes away)
+	traceID  string
+	scope    *telemetry.Scope    // request-local counter registry
+	rec      *telemetry.Recorder // request-local span timeline
 	enqueued time.Time
+	queueMS  float64       // set by the worker when the job is picked up
 	done     chan struct{} // closed by the worker when res/err are set
 	res      *rahtm.Result
 	err      error
@@ -102,9 +143,12 @@ type job struct {
 // cache. Construct with New, expose Handler on an http.Server, and stop
 // with Shutdown.
 type Server struct {
-	cfg   Config
-	mux   *http.ServeMux
-	cache *cache
+	cfg     Config
+	mux     *http.ServeMux
+	cache   *cache
+	log     *slog.Logger
+	tracker *tracker
+	started time.Time
 
 	queue    chan *job
 	workers  sync.WaitGroup
@@ -124,14 +168,18 @@ type Server struct {
 func New(ctx context.Context, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:   cfg,
-		mux:   http.NewServeMux(),
-		cache: newCache(cfg.CacheEntries),
-		queue: make(chan *job, cfg.QueueDepth),
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+		cache:   newCache(cfg.CacheEntries),
+		log:     cfg.Logger,
+		tracker: newTracker(cfg.SlowTraces),
+		started: time.Now(),
+		queue:   make(chan *job, cfg.QueueDepth),
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(ctx)
 	s.mux.HandleFunc("/solve", s.handleSolve)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/debug/requests", s.handleDebugRequests)
 	telemetry.Mount(s.mux, nil, nil)
 	s.workers.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -141,7 +189,7 @@ func New(ctx context.Context, cfg Config) *Server {
 }
 
 // Handler returns the daemon's HTTP handler (POST /solve, GET /healthz,
-// GET /metrics, GET /debug/vars).
+// GET /metrics, GET /debug/vars, GET /debug/requests).
 func (s *Server) Handler() http.Handler { return s.mux }
 
 // CacheLen returns the number of cached results.
@@ -194,8 +242,11 @@ func (s *Server) admit(j *job) (ok, accepting bool) {
 func (s *Server) worker() {
 	defer s.workers.Done()
 	for j := range s.queue {
-		s.inflight.Add(1)
-		histQueueWait.Observe(float64(time.Since(j.enqueued)) / float64(time.Millisecond))
+		gaugeInflight.Set(float64(s.inflight.Add(1)))
+		gaugeQueueDepth.Set(float64(len(s.queue)))
+		j.queueMS = float64(time.Since(j.enqueued)) / float64(time.Millisecond)
+		histQueueWait.Observe(j.queueMS)
+		s.tracker.solving(j.traceID, j.queueMS)
 		if j.ctx.Err() != nil {
 			// The client went away while the job was queued; don't
 			// burn a solve on an answer nobody reads.
@@ -203,17 +254,56 @@ func (s *Server) worker() {
 		} else {
 			j.res, j.err = s.solve(j)
 		}
+		s.finishTrace(j)
 		close(j.done)
-		s.inflight.Add(-1)
+		gaugeInflight.Set(float64(s.inflight.Add(-1)))
 	}
 }
 
-// solve runs one job under the merged request/daemon lifetime.
+// finishTrace retires a job's tracker entry and emits its solve log line.
+// It runs on the worker so the trace completes even when the requesting
+// client disconnected while the job was queued or solving.
+func (s *Server) finishTrace(j *job) {
+	status := "ok"
+	var errMsg string
+	switch {
+	case j.err != nil:
+		status, errMsg = "error", j.err.Error()
+	case j.res.Degraded:
+		status = "degraded"
+	}
+	var wallMS float64
+	s.tracker.finish(j.traceID, func(e *traceEntry) {
+		e.Status = status
+		e.Error = errMsg
+		e.WallMS = float64(time.Since(e.Start)) / float64(time.Millisecond)
+		if j.res != nil {
+			e.Metrics = j.res.Metrics
+		}
+		e.Spans = trimSpans(j.rec.Spans())
+		wallMS = e.WallMS
+	})
+	s.log.Info("solve",
+		"trace", j.traceID,
+		"workload", workloadName(&j.req),
+		"mapper", mapperName(&j.req),
+		"status", status,
+		"cached", false,
+		"err", errMsg,
+		"queue_ms", j.queueMS,
+		"wall_ms", wallMS,
+		"queue_depth", len(s.queue))
+}
+
+// solve runs one job under the merged request/daemon lifetime, with the
+// job's telemetry scope on the context so the solver layers attribute
+// their counters to this request.
 func (s *Server) solve(j *job) (*rahtm.Result, error) {
 	jctx, cancel := context.WithCancel(j.ctx)
 	defer cancel()
 	stop := context.AfterFunc(s.baseCtx, cancel)
 	defer stop()
+	jctx = telemetry.WithScope(jctx, j.scope)
 	res, err := rahtm.Solve(jctx, j.req)
 	if err != nil {
 		ctrErrors.Inc()
@@ -229,6 +319,21 @@ func (s *Server) solve(j *job) (*rahtm.Result, error) {
 		s.cache.put(j.key, res)
 	}
 	return res, nil
+}
+
+// workloadName and mapperName normalize request fields for logs and traces.
+func workloadName(r *rahtm.Request) string {
+	if r.Workload == "" && r.Graph != "" {
+		return "inline"
+	}
+	return r.Workload
+}
+
+func mapperName(r *rahtm.Request) string {
+	if r.Mapper == "" {
+		return "rahtm"
+	}
+	return r.Mapper
 }
 
 // clampRequest applies the daemon's resource ceilings to a wire request.
@@ -247,64 +352,100 @@ func (s *Server) clampRequest(req *rahtm.Request) {
 }
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	traceID := r.Header.Get(TraceHeader)
+	if traceID == "" {
+		traceID = telemetry.NewTraceID()
+	}
+	// Every answer — success, rejection, or error — carries the trace ID,
+	// so clients can always quote it when reporting a problem.
+	w.Header().Set(TraceHeader, traceID)
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "POST a rahtm.Request JSON to /solve")
 		return
 	}
-	start := time.Now()
 	ctrRequests.Inc()
+	deny := func(code int, format string, args ...any) {
+		msg := fmt.Sprintf(format, args...)
+		s.log.Info("solve", "trace", traceID, "status", "denied", "code", code, "err", msg)
+		httpError(w, code, "%s", msg)
+	}
 	var req rahtm.Request
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "decoding request: %v", err)
+		deny(http.StatusBadRequest, "decoding request: %v", err)
 		return
 	}
 	if _, _, err := req.Materialize(); err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		deny(http.StatusBadRequest, "%v", err)
 		return
 	}
 	if name := req.Mapper; name != "" {
 		// Resolve the mapper eagerly so an unknown name is a cheap 400
 		// (typed rahtm.ErrUnknownMapper) instead of a consumed queue slot.
 		if _, err := rahtm.MapperByName(name); err != nil {
-			httpError(w, http.StatusBadRequest, "%v", err)
+			deny(http.StatusBadRequest, "%v", err)
 			return
 		}
 	}
 	s.clampRequest(&req)
 	key, err := req.Key()
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		deny(http.StatusBadRequest, "%v", err)
 		return
 	}
 
 	if res, ok := s.cache.get(key); ok {
 		ctrCacheHits.Inc()
 		res.Cached = true
+		res.TraceID = traceID
+		wallMS := float64(time.Since(start)) / float64(time.Millisecond)
+		s.tracker.record(&traceEntry{
+			TraceID: traceID, Workload: workloadName(&req), Mapper: mapperName(&req),
+			Start: start, WallMS: wallMS, Status: "ok", Cached: true,
+		})
+		s.log.Info("solve", "trace", traceID, "workload", workloadName(&req),
+			"mapper", mapperName(&req), "status", "ok", "cached", true,
+			"wall_ms", wallMS, "queue_depth", len(s.queue))
 		writeResult(w, res, start)
 		return
 	}
 	ctrCacheMisses.Inc()
 
-	j := &job{req: req, key: key, ctx: r.Context(), enqueued: time.Now(), done: make(chan struct{})}
+	scope := telemetry.NewScope(traceID)
+	rec := telemetry.NewRecorder()
+	rec.SetTraceID(traceID)
+	req.Observer = rec
+	j := &job{
+		req: req, key: key, ctx: r.Context(),
+		traceID: traceID, scope: scope, rec: rec,
+		enqueued: time.Now(), done: make(chan struct{}),
+	}
+	s.tracker.start(&traceEntry{
+		TraceID: traceID, Workload: workloadName(&req), Mapper: mapperName(&req),
+		Start: start, Status: "queued",
+	})
 	ok, accepting := s.admit(j)
 	if !accepting {
-		httpError(w, http.StatusServiceUnavailable, "draining: the daemon is shutting down")
+		s.tracker.drop(traceID)
+		deny(http.StatusServiceUnavailable, "draining: the daemon is shutting down")
 		return
 	}
 	if !ok {
+		s.tracker.drop(traceID)
 		ctrRejected.Inc()
 		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
-		httpError(w, http.StatusTooManyRequests,
+		deny(http.StatusTooManyRequests,
 			"queue full (%d waiting, %d solving): retry later", s.cfg.QueueDepth, s.cfg.Workers)
 		return
 	}
+	gaugeQueueDepth.Set(float64(len(s.queue)))
 
 	select {
 	case <-j.done:
 	case <-r.Context().Done():
 		// The client is gone; the worker notices through j.ctx and the
-		// response writer is dead anyway.
+		// response writer is dead anyway (it still retires the trace).
 		return
 	}
 	if j.err != nil {
@@ -315,6 +456,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
+	w.Header().Set(QueueHeader, strconv.FormatFloat(j.queueMS, 'f', 3, 64))
 	writeResult(w, j.res, start)
 }
 
@@ -345,6 +487,30 @@ func retryAfterHint(n int64, sumMS float64, queueDepth, workers int) int {
 	return secs
 }
 
+// buildInfo extracts version identity from the binary once: the Go
+// toolchain, the main module version, and the VCS revision when the binary
+// was built from a checkout.
+var buildInfo = sync.OnceValue(func() map[string]string {
+	out := map[string]string{}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return out
+	}
+	out["go"] = bi.GoVersion
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		out["version"] = v
+	}
+	for _, kv := range bi.Settings {
+		switch kv.Key {
+		case "vcs.revision":
+			out["revision"] = kv.Value
+		case "vcs.modified":
+			out["dirty"] = kv.Value
+		}
+	}
+	return out
+})
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	draining := s.closed
@@ -358,11 +524,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	_ = json.NewEncoder(w).Encode(map[string]any{
-		"status":   status,
-		"queue":    len(s.queue),
-		"inflight": s.inflight.Load(),
-		"workers":  s.cfg.Workers,
-		"cached":   s.cache.len(),
+		"status":    status,
+		"build":     buildInfo(),
+		"uptime_s":  time.Since(s.started).Seconds(),
+		"queue":     len(s.queue),
+		"queue_cap": s.cfg.QueueDepth,
+		"inflight":  s.inflight.Load(),
+		"workers":   s.cfg.Workers,
+		"cached":    s.cache.len(),
 	})
 }
 

@@ -1,0 +1,317 @@
+package serve
+
+// Tests for the request-tracing surface: trace IDs end to end, per-request
+// counter attribution, the /debug/requests tracker, Prometheus content
+// negotiation on /metrics, and the enriched /healthz.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"rahtm"
+	"rahtm/internal/telemetry"
+)
+
+func TestTraceIDOnEveryResponse(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	resp, body := postSolve(t, ts.URL, cgRequest)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, body %s", resp.StatusCode, body)
+	}
+	header := resp.Header.Get(TraceHeader)
+	if header == "" {
+		t.Fatal("solved response carries no trace header")
+	}
+	res := decodeResult(t, body)
+	if res.TraceID != header {
+		t.Fatalf("body trace_id %q != header %q", res.TraceID, header)
+	}
+
+	// Error responses carry a trace ID too.
+	resp, _ = postSolve(t, ts.URL, `{"workload":"CG"}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+	if resp.Header.Get(TraceHeader) == "" {
+		t.Fatal("error response carries no trace header")
+	}
+}
+
+func TestTraceIDHonorsClientHeader(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/solve", strings.NewReader(cgRequest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(TraceHeader, "deadbeefcafef00d")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get(TraceHeader); got != "deadbeefcafef00d" {
+		t.Fatalf("trace header = %q, want the client-sent ID", got)
+	}
+	res := decodeResult(t, []byte(readAll(t, resp)))
+	if res.TraceID != "deadbeefcafef00d" {
+		t.Fatalf("body trace_id = %q, want the client-sent ID", res.TraceID)
+	}
+}
+
+// TestConcurrentTraceIDsUnique fires concurrent solves (cache disabled so
+// every one runs the pipeline) and checks each response carries a distinct
+// trace ID and its own counter attribution.
+func TestConcurrentTraceIDsUnique(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 4, CacheEntries: -1})
+	const n = 8
+	results := make([]*rahtm.Result, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/solve", "application/json", strings.NewReader(cgRequest))
+			if err != nil {
+				t.Errorf("request %d: %v", i, err)
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("request %d: status %d", i, resp.StatusCode)
+				return
+			}
+			var res rahtm.Result
+			if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+				t.Errorf("request %d: decode: %v", i, err)
+				return
+			}
+			results[i] = &res
+		}(i)
+	}
+	wg.Wait()
+	seen := map[string]bool{}
+	for i, res := range results {
+		if res == nil {
+			t.Fatalf("request %d failed", i)
+		}
+		if res.TraceID == "" || seen[res.TraceID] {
+			t.Fatalf("request %d trace ID %q empty or duplicated", i, res.TraceID)
+		}
+		seen[res.TraceID] = true
+		if res.Metrics[telemetry.CtrSubproblems] <= 0 {
+			t.Errorf("request %d attributes no subproblems: %v", i, res.Metrics)
+		}
+	}
+}
+
+// TestPerRequestMetricsPartition solves two different problems and checks
+// the per-request deltas are attributed to the right request and sum into
+// the process-wide registry.
+func TestPerRequestMetricsPartition(t *testing.T) {
+	_, ts := newTestServer(t, Config{CacheEntries: -1})
+	before := telemetry.Default.Snapshot()
+
+	_, bodyA := postSolve(t, ts.URL, `{"workload":"CG","topo":[4,4],"conc":1}`)
+	_, bodyB := postSolve(t, ts.URL, `{"workload":"BT","topo":[4,4],"conc":4}`)
+	resA, resB := decodeResult(t, bodyA), decodeResult(t, bodyB)
+
+	for name, res := range map[string]*rahtm.Result{"A": resA, "B": resB} {
+		if res.Metrics[telemetry.CtrStencilHits]+res.Metrics[telemetry.CtrStencilMisses] <= 0 {
+			t.Errorf("request %s attributes no stencil traffic: %v", name, res.Metrics)
+		}
+	}
+	delta := telemetry.Default.Snapshot().Sub(before)
+	for _, ctr := range []string{telemetry.CtrSubproblems, telemetry.CtrMerges, telemetry.CtrStencilHits} {
+		want := resA.Metrics[ctr] + resB.Metrics[ctr]
+		if got := delta.Counters[ctr]; got != want {
+			t.Errorf("global %s delta = %d, want %d (A %d + B %d)",
+				ctr, got, want, resA.Metrics[ctr], resB.Metrics[ctr])
+		}
+	}
+}
+
+func TestCachedResultGetsFreshIdentity(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	_, body1 := postSolve(t, ts.URL, cgRequest)
+	res1 := decodeResult(t, body1)
+	_, body2 := postSolve(t, ts.URL, cgRequest)
+	res2 := decodeResult(t, body2)
+	if !res2.Cached {
+		t.Fatal("second identical request missed the cache")
+	}
+	if res2.TraceID == "" || res2.TraceID == res1.TraceID {
+		t.Fatalf("cached hit trace ID %q should be fresh (first was %q)", res2.TraceID, res1.TraceID)
+	}
+	if len(res2.Metrics) != 0 {
+		t.Fatalf("cached hit carries the producing solve's metrics: %v", res2.Metrics)
+	}
+}
+
+func TestDebugRequestsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{CacheEntries: -1})
+	_, body := postSolve(t, ts.URL, cgRequest)
+	res := decodeResult(t, body)
+
+	resp, err := http.Get(ts.URL + "/debug/requests")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var view struct {
+		Inflight []traceEntry `json:"inflight"`
+		Slowest  []traceEntry `json:"slowest"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatalf("decoding /debug/requests: %v", err)
+	}
+	if len(view.Slowest) == 0 {
+		t.Fatal("no completed traces retained")
+	}
+	e := view.Slowest[0]
+	if e.TraceID != res.TraceID {
+		t.Fatalf("retained trace %q, want %q", e.TraceID, res.TraceID)
+	}
+	if e.Status != "ok" || e.WallMS <= 0 {
+		t.Fatalf("entry = %+v, want ok with positive wall time", e)
+	}
+	if len(e.Metrics) == 0 {
+		t.Fatal("retained trace has no per-request metrics")
+	}
+	phases := 0
+	for _, sp := range e.Spans {
+		if sp.TraceID != res.TraceID {
+			t.Fatalf("span %q carries trace %q, want %q", sp.Name, sp.TraceID, res.TraceID)
+		}
+		if sp.Name == "phase" {
+			phases++
+		}
+	}
+	if phases < 3 {
+		t.Fatalf("retained trace has %d phase spans, want the 3 pipeline phases", phases)
+	}
+
+	// Single-trace lookup and the 404 for unknown IDs.
+	one, err := http.Get(ts.URL + "/debug/requests?trace=" + res.TraceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer one.Body.Close()
+	if one.StatusCode != http.StatusOK {
+		t.Fatalf("?trace lookup status %d", one.StatusCode)
+	}
+	var single traceEntry
+	if err := json.NewDecoder(one.Body).Decode(&single); err != nil || single.TraceID != res.TraceID {
+		t.Fatalf("single lookup = %+v, err %v", single, err)
+	}
+	missing, err := http.Get(ts.URL + "/debug/requests?trace=nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	missing.Body.Close()
+	if missing.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown trace lookup status %d, want 404", missing.StatusCode)
+	}
+}
+
+func TestMetricsContentNegotiation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	_, _ = postSolve(t, ts.URL, cgRequest)
+
+	// Default: JSON.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Fatalf("default /metrics content type = %q, want JSON", ct)
+	}
+	var js struct {
+		Metrics telemetry.Snapshot `json:"metrics"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&js); err != nil {
+		t.Fatalf("JSON /metrics: %v", err)
+	}
+
+	// Accept: text/plain gets a valid Prometheus exposition.
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/metrics", nil)
+	req.Header.Set("Accept", "text/plain")
+	prom, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer prom.Body.Close()
+	if ct := prom.Header.Get("Content-Type"); ct != telemetry.PromContentType {
+		t.Fatalf("prometheus content type = %q, want %q", ct, telemetry.PromContentType)
+	}
+	fams, err := telemetry.ParsePrometheus(prom.Body)
+	if err != nil {
+		t.Fatalf("invalid Prometheus exposition: %v", err)
+	}
+	if fams["rahtm_serve_requests_total"] == nil {
+		names := make([]string, 0, len(fams))
+		for n := range fams {
+			names = append(names, n)
+		}
+		t.Fatalf("rahtm_serve_requests_total missing from exposition; have %v", names)
+	}
+}
+
+func TestHealthzBuildInfoAndOccupancy(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 3, QueueDepth: 5})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var hz struct {
+		Status   string            `json:"status"`
+		Build    map[string]string `json:"build"`
+		UptimeS  float64           `json:"uptime_s"`
+		Queue    int               `json:"queue"`
+		QueueCap int               `json:"queue_cap"`
+		Workers  int               `json:"workers"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		t.Fatalf("decoding healthz: %v", err)
+	}
+	if hz.Status != "ok" {
+		t.Fatalf("status = %q", hz.Status)
+	}
+	if hz.Build["go"] == "" {
+		t.Fatalf("healthz build info missing the Go version: %v", hz.Build)
+	}
+	if hz.UptimeS < 0 {
+		t.Fatalf("uptime_s = %v", hz.UptimeS)
+	}
+	if hz.QueueCap != 5 || hz.Workers != 3 {
+		t.Fatalf("queue_cap=%d workers=%d, want 5 and 3", hz.QueueCap, hz.Workers)
+	}
+}
+
+func TestTrackerRetainsSlowestBounded(t *testing.T) {
+	tr := newTracker(3)
+	for i := 0; i < 10; i++ {
+		tr.record(&traceEntry{TraceID: fmt.Sprint(i), WallMS: float64(i), Status: "ok"})
+	}
+	_, slowest := tr.snapshot()
+	if len(slowest) != 3 {
+		t.Fatalf("retained %d entries, want 3", len(slowest))
+	}
+	for i, want := range []float64{9, 8, 7} {
+		if slowest[i].WallMS != want {
+			t.Fatalf("slowest[%d].WallMS = %v, want %v", i, slowest[i].WallMS, want)
+		}
+	}
+	// Disabled retention keeps nothing.
+	off := newTracker(-1)
+	off.record(&traceEntry{TraceID: "x", WallMS: 1})
+	if _, s := off.snapshot(); len(s) != 0 {
+		t.Fatal("negative SlowTraces still retains entries")
+	}
+}

@@ -64,14 +64,16 @@ const (
 	CtrTraceColls = "trace.collectives.expanded"
 
 	// serve: the mapping-as-a-service daemon (internal/serve).
-	CtrServeRequests    = "serve.requests"
-	CtrServeCacheHits   = "serve.cache.hits"
-	CtrServeCacheMisses = "serve.cache.misses"
-	CtrServeRejected    = "serve.rejected" // admission-control 429s
-	CtrServeDegraded    = "serve.degraded" // deadline-degraded completions
-	CtrServeErrors      = "serve.errors"   // failed solves
-	HistServeQueueWait  = "serve.queue.wait_ms"
-	HistServeLatency    = "serve.latency_ms"
+	CtrServeRequests     = "serve.requests"
+	CtrServeCacheHits    = "serve.cache.hits"
+	CtrServeCacheMisses  = "serve.cache.misses"
+	CtrServeRejected     = "serve.rejected" // admission-control 429s
+	CtrServeDegraded     = "serve.degraded" // deadline-degraded completions
+	CtrServeErrors       = "serve.errors"   // failed solves
+	HistServeQueueWait   = "serve.queue.wait_ms"
+	HistServeLatency     = "serve.latency_ms"
+	GaugeServeQueueDepth = "serve.queue.depth"
+	GaugeServeInflight   = "serve.inflight"
 )
 
 // ServeLatencyBounds are the millisecond bucket bounds of the daemon's
@@ -330,15 +332,55 @@ func (s Snapshot) Counter(name string) int64 { return s.Counters[name] }
 
 // Sub returns a snapshot whose counters are the difference s - prev
 // (gauges and histograms keep s's values): the per-run delta of cumulative
-// process-wide counters.
+// process-wide counters. Counters present only in prev appear as negative
+// deltas rather than vanishing, and the gauge/histogram maps are copied, so
+// mutating the result never reaches back into s.
 func (s Snapshot) Sub(prev Snapshot) Snapshot {
 	out := Snapshot{
 		Counters:   make(map[string]int64, len(s.Counters)),
-		Gauges:     s.Gauges,
-		Histograms: s.Histograms,
+		Gauges:     make(map[string]float64, len(s.Gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(s.Histograms)),
 	}
 	for name, v := range s.Counters {
 		out.Counters[name] = v - prev.Counters[name]
+	}
+	for name, v := range prev.Counters {
+		if _, ok := s.Counters[name]; !ok {
+			out.Counters[name] = -v
+		}
+	}
+	for name, v := range s.Gauges {
+		out.Gauges[name] = v
+	}
+	for name, h := range s.Histograms {
+		h.Bounds = append([]float64(nil), h.Bounds...)
+		h.Buckets = append([]int64(nil), h.Buckets...)
+		out.Histograms[name] = h
+	}
+	return out
+}
+
+// Sanitized returns a copy of s with non-finite gauge values and histogram
+// sums replaced by zero. encoding/json refuses NaN and the infinities
+// outright, so every snapshot that lands in a JSON payload (the /metrics
+// endpoint, bench reports) passes through here first.
+func (s Snapshot) Sanitized() Snapshot {
+	out := Snapshot{
+		Counters:   s.Counters,
+		Gauges:     make(map[string]float64, len(s.Gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(s.Histograms)),
+	}
+	for name, v := range s.Gauges {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			v = 0
+		}
+		out.Gauges[name] = v
+	}
+	for name, h := range s.Histograms {
+		if math.IsNaN(h.Sum) || math.IsInf(h.Sum, 0) {
+			h.Sum = 0
+		}
+		out.Histograms[name] = h
 	}
 	return out
 }
@@ -350,4 +392,14 @@ func Rate(hit, miss int64) float64 {
 		return math.NaN()
 	}
 	return float64(hit) / float64(hit+miss)
+}
+
+// JSONRate is Rate for JSON payloads: a zero denominator yields nil (which
+// encodes as null) instead of NaN, which encoding/json refuses to encode.
+func JSONRate(hit, miss int64) *float64 {
+	if hit+miss == 0 {
+		return nil
+	}
+	v := float64(hit) / float64(hit+miss)
+	return &v
 }

@@ -1,0 +1,414 @@
+package telemetry
+
+// Prometheus text exposition (format version 0.0.4) for a Snapshot, plus a
+// small stdlib-only parser used by the format-validity tests and the
+// rahtm-promcheck CI gate. The JSON /metrics payload stays the default for
+// existing consumers; Prometheus scrapers get this via content negotiation
+// (Accept: text/plain) on the same endpoint.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromContentType is the Content-Type of the text exposition format.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promNamespace prefixes every exposed metric name, so rahtm's series are
+// greppable in a shared Prometheus and never collide with other exporters.
+const promNamespace = "rahtm_"
+
+// WritePrometheus writes s in the Prometheus text exposition format:
+// counters as <name>_total with TYPE counter, gauges with TYPE gauge, and
+// histograms as cumulative _bucket{le="..."} series plus _sum and _count.
+// Families are emitted in sorted name order so scrapes diff cleanly.
+func WritePrometheus(w io.Writer, s Snapshot) error {
+	bw := bufio.NewWriter(w)
+
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		mn := promName(name) + "_total"
+		fmt.Fprintf(bw, "# TYPE %s counter\n%s %d\n", mn, mn, s.Counters[name])
+	}
+
+	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		mn := promName(name)
+		fmt.Fprintf(bw, "# TYPE %s gauge\n%s %s\n", mn, mn, promFloat(s.Gauges[name]))
+	}
+
+	names = names[:0]
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := s.Histograms[name]
+		mn := promName(name)
+		fmt.Fprintf(bw, "# TYPE %s histogram\n", mn)
+		cum := int64(0)
+		for i, b := range h.Bounds {
+			if i < len(h.Buckets) {
+				cum += h.Buckets[i]
+			}
+			fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", mn, promFloat(b), cum)
+		}
+		if len(h.Buckets) > len(h.Bounds) {
+			cum += h.Buckets[len(h.Buckets)-1]
+		}
+		fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", mn, cum)
+		fmt.Fprintf(bw, "%s_sum %s\n", mn, promFloat(h.Sum))
+		fmt.Fprintf(bw, "%s_count %d\n", mn, h.Count)
+	}
+	return bw.Flush()
+}
+
+// promName maps a registry metric name (dotted, e.g. "routing.stencil.hits")
+// to a valid Prometheus metric name: the rahtm_ namespace plus the name with
+// every character outside [a-zA-Z0-9_:] replaced by '_'.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(promNamespace) + len(name))
+	b.WriteString(promNamespace)
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == ':':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promFloat renders a float sample value. NaN and the infinities have
+// defined spellings in the exposition format.
+func promFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// PromSample is one parsed exposition sample line.
+type PromSample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// PromFamily is one parsed metric family: its declared TYPE and samples in
+// file order.
+type PromFamily struct {
+	Name    string
+	Type    string
+	Samples []PromSample
+}
+
+// ParsePrometheus validates r as Prometheus text exposition and returns the
+// metric families keyed by name. It is deliberately small — names, label
+// syntax, float values, TYPE comments — but strict about what it does
+// check: malformed lines, invalid names or values, samples for histogram
+// families whose cumulative buckets decrease, and a missing +Inf bucket all
+// fail. That is exactly the safety net the CI e2e scrape needs.
+func ParsePrometheus(r io.Reader) (map[string]*PromFamily, error) {
+	families := map[string]*PromFamily{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := parsePromComment(line, families); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		sample, err := parsePromSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		fam := families[familyOf(sample.Name)]
+		if fam == nil {
+			// Untyped samples are legal exposition; track them under their
+			// own name so bucket checks still see the series.
+			fam = &PromFamily{Name: sample.Name, Type: "untyped"}
+			families[fam.Name] = fam
+		}
+		fam.Samples = append(fam.Samples, sample)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, fam := range families {
+		if fam.Type == "histogram" {
+			if err := checkHistogramFamily(fam); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return families, nil
+}
+
+// parsePromComment handles "# TYPE name type" and "# HELP name text".
+func parsePromComment(line string, families map[string]*PromFamily) error {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return nil // bare comment
+	}
+	switch fields[1] {
+	case "TYPE":
+		if len(fields) != 4 {
+			return fmt.Errorf("malformed TYPE comment %q", line)
+		}
+		name, typ := fields[2], fields[3]
+		if !validPromName(name) {
+			return fmt.Errorf("invalid metric name %q", name)
+		}
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q", typ)
+		}
+		if _, ok := families[name]; ok {
+			return fmt.Errorf("duplicate TYPE for %q", name)
+		}
+		families[name] = &PromFamily{Name: name, Type: typ}
+	case "HELP":
+		if len(fields) < 3 {
+			return fmt.Errorf("malformed HELP comment %q", line)
+		}
+	}
+	return nil
+}
+
+// parsePromSample parses one sample line: name[{labels}] value [timestamp].
+func parsePromSample(line string) (PromSample, error) {
+	s := PromSample{Labels: map[string]string{}}
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		s.Name = rest[:i]
+		end := strings.IndexByte(rest, '}')
+		if end < i {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		if err := parsePromLabels(rest[i+1:end], s.Labels); err != nil {
+			return s, err
+		}
+		rest = strings.TrimSpace(rest[end+1:])
+	} else {
+		fields := strings.Fields(rest)
+		if len(fields) < 2 {
+			return s, fmt.Errorf("sample %q has no value", line)
+		}
+		s.Name = fields[0]
+		rest = strings.Join(fields[1:], " ")
+	}
+	if !validPromName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return s, fmt.Errorf("sample %q needs a value and at most a timestamp", line)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return s, fmt.Errorf("sample %q: bad value: %v", line, err)
+	}
+	s.Value = v
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return s, fmt.Errorf("sample %q: bad timestamp: %v", line, err)
+		}
+	}
+	return s, nil
+}
+
+// parsePromLabels parses `k="v",k2="v2"` into dst.
+func parsePromLabels(s string, dst map[string]string) error {
+	s = strings.TrimSpace(s)
+	for s != "" {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return fmt.Errorf("label pair %q has no '='", s)
+		}
+		key := strings.TrimSpace(s[:eq])
+		if !validPromLabelName(key) {
+			return fmt.Errorf("invalid label name %q", key)
+		}
+		rest := s[eq+1:]
+		if len(rest) == 0 || rest[0] != '"' {
+			return fmt.Errorf("label %q value is not quoted", key)
+		}
+		val, remain, err := unquotePromValue(rest)
+		if err != nil {
+			return fmt.Errorf("label %q: %w", key, err)
+		}
+		dst[key] = val
+		s = strings.TrimSpace(remain)
+		s = strings.TrimPrefix(s, ",")
+		s = strings.TrimSpace(s)
+	}
+	return nil
+}
+
+// unquotePromValue reads a leading double-quoted exposition string (with
+// \\, \" and \n escapes) and returns the remainder.
+func unquotePromValue(s string) (val, rest string, err error) {
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\\':
+			i++
+			if i >= len(s) {
+				return "", "", fmt.Errorf("dangling escape")
+			}
+			switch s[i] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", "", fmt.Errorf("bad escape \\%c", s[i])
+			}
+		case '"':
+			return b.String(), s[i+1:], nil
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return "", "", fmt.Errorf("unterminated quoted string")
+}
+
+// familyOf strips the histogram/summary sample suffixes so _bucket/_sum/
+// _count lines attach to their declared family.
+func familyOf(name string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suf) {
+			return strings.TrimSuffix(name, suf)
+		}
+	}
+	return name
+}
+
+// checkHistogramFamily verifies the invariants scrapers rely on: cumulative
+// buckets never decrease, a +Inf bucket exists, and it equals _count.
+func checkHistogramFamily(fam *PromFamily) error {
+	prev := math.Inf(-1)
+	last := math.NaN()
+	var haveInf bool
+	var infVal, count float64
+	var haveCount bool
+	for _, s := range fam.Samples {
+		switch {
+		case s.Name == fam.Name+"_bucket":
+			le, ok := s.Labels["le"]
+			if !ok {
+				return fmt.Errorf("histogram %s: bucket without le label", fam.Name)
+			}
+			bound, err := parsePromBound(le)
+			if err != nil {
+				return fmt.Errorf("histogram %s: %w", fam.Name, err)
+			}
+			if bound <= prev {
+				return fmt.Errorf("histogram %s: bucket bounds not ascending at le=%q", fam.Name, le)
+			}
+			prev = bound
+			if !math.IsNaN(last) && s.Value < last {
+				return fmt.Errorf("histogram %s: cumulative bucket counts decrease at le=%q", fam.Name, le)
+			}
+			last = s.Value
+			if math.IsInf(bound, 1) {
+				haveInf, infVal = true, s.Value
+			}
+		case s.Name == fam.Name+"_count":
+			haveCount, count = true, s.Value
+		}
+	}
+	if !haveInf {
+		return fmt.Errorf("histogram %s: missing le=\"+Inf\" bucket", fam.Name)
+	}
+	if haveCount && infVal != count { //rahtm:allow(floateq): both are exact integer sample counts
+		return fmt.Errorf("histogram %s: +Inf bucket %v != count %v", fam.Name, infVal, count)
+	}
+	return nil
+}
+
+// validPromName reports whether s is a legal metric name:
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validPromName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// validPromLabelName reports whether s is a legal label name:
+// [a-zA-Z_][a-zA-Z0-9_]*.
+func validPromLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// parsePromBound parses an le label value ("+Inf" included).
+func parsePromBound(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad le bound %q", s)
+	}
+	return v, nil
+}

@@ -1,0 +1,120 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// populated builds a registry exercising every metric kind.
+func populated() *Registry {
+	reg := NewRegistry()
+	reg.Counter("stencil.hits").Add(42)
+	reg.Counter("lp.pivots").Add(7)
+	reg.Gauge("serve.queue.depth").Set(3)
+	h := reg.Histogram("serve.latency.ms", []float64{1, 10, 100})
+	h.Observe(0.5)
+	h.Observe(50)
+	h.Observe(5000)
+	return reg
+}
+
+func TestWritePrometheusRoundTrip(t *testing.T) {
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, populated().Snapshot()); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	text := sb.String()
+	fams, err := ParsePrometheus(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v\n%s", err, text)
+	}
+	counter := fams["rahtm_stencil_hits_total"]
+	if counter == nil || counter.Type != "counter" {
+		t.Fatalf("counter family missing or mistyped: %+v", counter)
+	}
+	if len(counter.Samples) != 1 || counter.Samples[0].Value != 42 {
+		t.Fatalf("counter samples = %+v, want one sample of 42", counter.Samples)
+	}
+	gauge := fams["rahtm_serve_queue_depth"]
+	if gauge == nil || gauge.Type != "gauge" || gauge.Samples[0].Value != 3 {
+		t.Fatalf("gauge family wrong: %+v", gauge)
+	}
+	hist := fams["rahtm_serve_latency_ms"]
+	if hist == nil || hist.Type != "histogram" {
+		t.Fatalf("histogram family missing: %+v", hist)
+	}
+	// Cumulative buckets: le=1 -> 1, le=10 -> 1, le=100 -> 2, +Inf -> 3.
+	want := map[string]float64{"1": 1, "10": 1, "100": 2, "+Inf": 3}
+	var count, sum float64
+	for _, s := range hist.Samples {
+		switch {
+		case strings.HasSuffix(s.Name, "_bucket"):
+			le := s.Labels["le"]
+			if s.Value != want[le] {
+				t.Errorf("bucket le=%s = %v, want %v", le, s.Value, want[le])
+			}
+		case strings.HasSuffix(s.Name, "_count"):
+			count = s.Value
+		case strings.HasSuffix(s.Name, "_sum"):
+			sum = s.Value
+		}
+	}
+	if count != 3 || sum != 5050.5 {
+		t.Fatalf("count=%v sum=%v, want 3 and 5050.5", count, sum)
+	}
+}
+
+func TestWritePrometheusNonFinite(t *testing.T) {
+	reg := NewRegistry()
+	reg.Gauge("bad").Set(math.NaN())
+	reg.Gauge("inf").Set(math.Inf(1))
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, reg.Snapshot()); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	// The text format has spellings for non-finite values; the document
+	// must still parse.
+	if _, err := ParsePrometheus(strings.NewReader(sb.String())); err != nil {
+		t.Fatalf("non-finite gauges break the exposition: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "NaN") || !strings.Contains(sb.String(), "+Inf") {
+		t.Fatalf("non-finite spellings missing:\n%s", sb.String())
+	}
+}
+
+func TestParsePrometheusRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"bad name":           "9metric 1\n",
+		"bad label name":     `m{9l="x"} 1` + "\n",
+		"bad value":          "m one\n",
+		"missing value":      "m\n",
+		"duplicate TYPE":     "# TYPE m counter\n# TYPE m counter\nm_total 1\n",
+		"unknown type":       "# TYPE m widget\nm 1\n",
+		"unterminated label": `m{l="x} 1` + "\n",
+		"histogram missing +Inf": "# TYPE h histogram\n" +
+			`h_bucket{le="1"} 1` + "\nh_sum 1\nh_count 1\n",
+		"histogram non-cumulative": "# TYPE h histogram\n" +
+			`h_bucket{le="1"} 5` + "\n" + `h_bucket{le="+Inf"} 3` + "\nh_sum 1\nh_count 3\n",
+		"histogram count mismatch": "# TYPE h histogram\n" +
+			`h_bucket{le="+Inf"} 3` + "\nh_sum 1\nh_count 4\n",
+	}
+	for name, doc := range cases {
+		if _, err := ParsePrometheus(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: parser accepted malformed document:\n%s", name, doc)
+		}
+	}
+}
+
+func TestParsePrometheusAcceptsLabels(t *testing.T) {
+	doc := "# HELP m a metric\n# TYPE m counter\n" +
+		`m_total{path="/solve",code="200"} 12` + "\n"
+	fams, err := ParsePrometheus(strings.NewReader(doc))
+	if err != nil {
+		t.Fatalf("labeled sample rejected: %v", err)
+	}
+	s := fams["m_total"].Samples[0]
+	if s.Labels["path"] != "/solve" || s.Labels["code"] != "200" || s.Value != 12 {
+		t.Fatalf("sample = %+v", s)
+	}
+}

@@ -1,0 +1,144 @@
+package telemetry
+
+import (
+	"context"
+	"regexp"
+	"sync"
+	"testing"
+)
+
+func TestNewTraceIDFormat(t *testing.T) {
+	re := regexp.MustCompile(`^[0-9a-f]{16}$`)
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		id := NewTraceID()
+		if !re.MatchString(id) {
+			t.Fatalf("trace ID %q is not 16 lowercase hex chars", id)
+		}
+		if seen[id] {
+			t.Fatalf("trace ID %q repeated", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestScopeContextRoundTrip(t *testing.T) {
+	if got := ScopeFrom(context.Background()); got != nil {
+		t.Fatalf("bare context carries scope %v", got)
+	}
+	s := NewScope("abc")
+	if s.TraceID != "abc" {
+		t.Fatalf("TraceID = %q, want abc", s.TraceID)
+	}
+	ctx := WithScope(context.Background(), s)
+	if got := ScopeFrom(ctx); got != s {
+		t.Fatalf("ScopeFrom returned %v, want %v", got, s)
+	}
+	if got := WithScope(ctx, nil); got != ctx {
+		t.Fatal("WithScope(nil) should return ctx unchanged")
+	}
+	if NewScope("").TraceID == "" {
+		t.Fatal("empty trace ID not replaced with a random one")
+	}
+}
+
+func TestCounterOrRouting(t *testing.T) {
+	fallback := NewRegistry().Counter("x")
+	var nilScope *Scope
+	if got := nilScope.CounterOr("x", fallback); got != fallback {
+		t.Fatal("nil scope must route to the fallback counter")
+	}
+	s := NewScope("t")
+	c := s.CounterOr("x", fallback)
+	if c == fallback {
+		t.Fatal("scoped CounterOr returned the fallback")
+	}
+	c.Add(5)
+	if fallback.Value() != 0 {
+		t.Fatal("scoped add leaked into the fallback counter")
+	}
+	if got := s.Reg.Counter("x").Value(); got != 5 {
+		t.Fatalf("scope registry holds %d, want 5", got)
+	}
+}
+
+func TestRegistryMerge(t *testing.T) {
+	dst := NewRegistry()
+	dst.Counter("a").Add(1)
+	dst.Gauge("g").Set(1)
+	dst.Histogram("h", []float64{1, 10}).Observe(0.5)
+
+	src := NewRegistry()
+	src.Counter("a").Add(2)
+	src.Counter("b").Add(3)
+	src.Gauge("g").Set(7)
+	src.Histogram("h", []float64{1, 10}).Observe(5)
+
+	dst.Merge(src.Snapshot())
+	snap := dst.Snapshot()
+	if snap.Counters["a"] != 3 || snap.Counters["b"] != 3 {
+		t.Fatalf("merged counters = %v, want a=3 b=3", snap.Counters)
+	}
+	if snap.Gauges["g"] != 7 {
+		t.Fatalf("merged gauge = %v, want 7", snap.Gauges["g"])
+	}
+	h := snap.Histograms["h"]
+	if h.Count != 2 || h.Sum != 5.5 {
+		t.Fatalf("merged histogram count=%d sum=%v, want 2 and 5.5", h.Count, h.Sum)
+	}
+}
+
+func TestScopeConcurrentPartition(t *testing.T) {
+	// Two scopes hammered from many goroutines stay fully partitioned.
+	a, b := NewScope("a"), NewScope("b")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		s := a
+		if i%2 == 1 {
+			s = b
+		}
+		wg.Add(1)
+		go func(s *Scope) {
+			defer wg.Done()
+			c := s.Counter("n")
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}(s)
+	}
+	wg.Wait()
+	if got := a.Reg.Counter("n").Value(); got != 4000 {
+		t.Fatalf("scope a counted %d, want 4000", got)
+	}
+	if got := b.Reg.Counter("n").Value(); got != 4000 {
+		t.Fatalf("scope b counted %d, want 4000", got)
+	}
+}
+
+func TestSubKeepsPrevOnlyCounters(t *testing.T) {
+	prev := Snapshot{Counters: map[string]int64{"gone": 4, "both": 1}}
+	cur := Snapshot{Counters: map[string]int64{"both": 5, "new": 2}}
+	d := cur.Sub(prev)
+	if d.Counters["both"] != 4 || d.Counters["new"] != 2 {
+		t.Fatalf("delta = %v, want both=4 new=2", d.Counters)
+	}
+	if d.Counters["gone"] != -4 {
+		t.Fatalf("prev-only counter dropped: delta = %v, want gone=-4", d.Counters)
+	}
+}
+
+func TestSubDoesNotAliasMaps(t *testing.T) {
+	reg := NewRegistry()
+	reg.Gauge("g").Set(1)
+	reg.Histogram("h", []float64{1}).Observe(0.5)
+	cur := reg.Snapshot()
+	d := cur.Sub(Snapshot{})
+	d.Gauges["g"] = 99
+	d.Histograms["h"].Buckets[0] = 99
+	if cur.Gauges["g"] == 99 {
+		t.Fatal("Sub aliased the gauge map")
+	}
+	if cur.Histograms["h"].Buckets[0] == 99 {
+		t.Fatal("Sub aliased the histogram buckets")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -13,7 +14,9 @@ import (
 
 // Server is a live telemetry HTTP endpoint. It serves:
 //
-//	/metrics    — LiveSnapshot JSON: {"progress": ..., "metrics": ...}
+//	/metrics    — LiveSnapshot JSON: {"progress": ..., "metrics": ...};
+//	              Prometheus text exposition instead under
+//	              Accept: text/plain or ?format=prometheus
 //	/debug/vars — standard expvar JSON (includes the "rahtm" var mirroring
 //	              the same LiveSnapshot, next to memstats and cmdline)
 //
@@ -75,11 +78,37 @@ func Mount(mux *http.ServeMux, reg *Registry, progress func() Progress) {
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		snap := liveSnapshot()
+		if wantsPrometheus(r) {
+			w.Header().Set("Content-Type", PromContentType)
+			_ = WritePrometheus(w, snap.Metrics)
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
+		// encoding/json refuses NaN/Inf outright; a single poisoned gauge
+		// must not take the whole scrape down.
+		snap.Metrics = snap.Metrics.Sanitized()
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		_ = enc.Encode(liveSnapshot())
+		_ = enc.Encode(snap)
 	})
+}
+
+// wantsPrometheus decides the /metrics representation: Prometheus text for
+// scrapers that ask for text/plain (or the OpenMetrics type) in Accept, or
+// for an explicit ?format=prometheus; JSON — the original payload — for
+// everyone else, so existing consumers never change.
+func wantsPrometheus(r *http.Request) bool {
+	if r.URL.Query().Get("format") == "prometheus" {
+		return true
+	}
+	for _, part := range strings.Split(r.Header.Get("Accept"), ",") {
+		mt := strings.TrimSpace(strings.SplitN(part, ";", 2)[0])
+		if mt == "text/plain" || mt == "application/openmetrics-text" {
+			return true
+		}
+	}
+	return false
 }
 
 // Serve starts a telemetry endpoint on addr (e.g. "localhost:6060" or

@@ -30,6 +30,9 @@ type Span struct {
 	// Hash is the structural fingerprint of the subproblem (sibling-group
 	// key), 0 when not applicable.
 	Hash uint64 `json:"hash,omitempty"`
+	// TraceID is the request identity the span belongs to, "" for spans
+	// recorded outside a request scope (CLI runs).
+	TraceID string `json:"trace,omitempty"`
 	// Start is the offset from the recorder epoch.
 	Start time.Duration `json:"start_ns"`
 	// Dur is the span's wall-clock duration.
@@ -46,15 +49,32 @@ func (s Span) End() time.Duration { return s.Start + s.Dur }
 // and progress observers.
 type Recorder struct {
 	obs.Nop
-	mu     sync.Mutex
-	epoch  time.Time
-	spans  []Span
-	opened map[string]time.Time // phase -> PhaseStart time
+	mu      sync.Mutex
+	epoch   time.Time
+	spans   []Span
+	opened  map[string]time.Time // phase -> PhaseStart time
+	traceID string
 }
 
 // NewRecorder returns an empty recorder whose epoch (timeline zero) is now.
 func NewRecorder() *Recorder {
 	return &Recorder{epoch: time.Now(), opened: map[string]time.Time{}}
+}
+
+// SetTraceID stamps id on every span recorded from now on. The serving
+// layer sets it right after construction so a request recorder's whole
+// timeline carries the request's identity.
+func (r *Recorder) SetTraceID(id string) {
+	r.mu.Lock()
+	r.traceID = id
+	r.mu.Unlock()
+}
+
+// TraceID returns the stamp set by SetTraceID ("" by default).
+func (r *Recorder) TraceID() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.traceID
 }
 
 // PhaseStart implements obs.Observer.
@@ -75,12 +95,13 @@ func (r *Recorder) PhaseEnd(phase string, elapsed time.Duration) {
 	}
 	delete(r.opened, phase)
 	r.spans = append(r.spans, Span{
-		Name:   "phase",
-		Phase:  phase,
-		Worker: -1,
-		Level:  -1,
-		Start:  start.Sub(r.epoch),
-		Dur:    elapsed,
+		Name:    "phase",
+		Phase:   phase,
+		Worker:  -1,
+		Level:   -1,
+		TraceID: r.traceID,
+		Start:   start.Sub(r.epoch),
+		Dur:     elapsed,
 	})
 }
 
@@ -96,6 +117,7 @@ func (r *Recorder) Span(name, phase string, worker, level int, hash uint64, star
 		Dur:    elapsed,
 	}
 	r.mu.Lock()
+	sp.TraceID = r.traceID
 	r.spans = append(r.spans, sp)
 	r.mu.Unlock()
 }

@@ -21,6 +21,8 @@ import (
 	"rahtm/internal/graph"
 	"rahtm/internal/mappers"
 	"rahtm/internal/metrics"
+	"rahtm/internal/routing"
+	"rahtm/internal/telemetry"
 	"rahtm/internal/topology"
 )
 
@@ -116,6 +118,15 @@ type Result struct {
 	// Cached is set by the serving layer when the result came from the
 	// content-addressed cache rather than a fresh solve.
 	Cached bool `json:"cached,omitempty"`
+	// TraceID identifies the solve that produced this result. Filled when
+	// the context carried a telemetry scope (the rahtm-serve daemon attaches
+	// one per request; library callers can via WithScope).
+	TraceID string `json:"trace_id,omitempty"`
+	// Metrics holds this request's own counter deltas (stencil cache hits,
+	// simplex pivots, MILP nodes, beam candidates, ...) — the per-request
+	// slice of what the process-wide Metrics() registry accumulates. Only
+	// filled when the context carried a telemetry scope.
+	Metrics map[string]int64 `json:"metrics,omitempty"`
 
 	// Detail is the full RAHTM pipeline output (node graph, node-level
 	// mapping, ProcTask); nil for baseline mappers. Not serialized.
@@ -331,7 +342,7 @@ func Solve(ctx context.Context, req Request) (*Result, error) {
 
 // solve implements Solve. The legacy wrappers pass measure=false to skip
 // the proc-level MCL/hop-bytes evaluation their contracts never included.
-func solve(ctx context.Context, req Request, measure bool) (*Result, error) {
+func solve(ctx context.Context, req Request, measure bool) (res *Result, err error) {
 	w, t, err := (&req).Materialize()
 	if err != nil {
 		return nil, err
@@ -340,6 +351,23 @@ func solve(ctx context.Context, req Request, measure bool) (*Result, error) {
 	mapper, err := (&req).resolveMapper(t)
 	if err != nil {
 		return nil, err
+	}
+	// When the context carries a telemetry scope, the solver layers write
+	// their counters into the scope's registry instead of the process-wide
+	// one. Fold the delta accrued during this solve back into the global
+	// registry on the way out (so process totals stay whole) and stamp the
+	// per-request slice onto the result.
+	scope := telemetry.ScopeFrom(ctx)
+	if scope != nil {
+		prev := scope.Reg.Snapshot()
+		defer func() {
+			delta := scope.Reg.Snapshot().Sub(prev)
+			telemetry.Default.Merge(delta)
+			if res != nil {
+				res.TraceID = scope.TraceID
+				res.Metrics = delta.Counters
+			}
+		}()
 	}
 	if req.DeadlineMS > 0 {
 		var cancel context.CancelFunc
@@ -353,7 +381,7 @@ func solve(ctx context.Context, req Request, measure bool) (*Result, error) {
 	w.Graph.Freeze()
 
 	start := time.Now()
-	res := &Result{Mapper: mapper.Name(), Workload: w.Name, Topology: t.String()}
+	res = &Result{Mapper: mapper.Name(), Workload: w.Name, Topology: t.String()}
 	switch m := mapper.(type) {
 	case Mapper:
 		pres, err := core.MapPartitionedCtx(ctx, w.Graph, t, PipelineConfig{
@@ -386,7 +414,7 @@ func solve(ctx context.Context, req Request, measure bool) (*Result, error) {
 	}
 	res.WallMS = float64(time.Since(start)) / float64(time.Millisecond)
 	if measure {
-		res.MCL = MCL(t, w.Graph, res.Mapping)
+		res.MCL = routing.MaxChannelLoad(t, w.Graph, res.Mapping, routing.MinimalAdaptive{}.WithScope(scope))
 		res.HopBytes = metrics.HopBytes(t, w.Graph, res.Mapping)
 	}
 	return res, nil

@@ -240,3 +240,42 @@ func TestMaterializeMemo(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestSolveWithScope checks the request-scoped attribution contract: a
+// scope on the context yields a Result stamped with the trace ID and the
+// per-request counter deltas, while the process-wide registry still
+// advances by exactly the same amounts (the scope's counts are folded in
+// at solve end). A scope-less Solve leaves TraceID/Metrics empty.
+func TestSolveWithScope(t *testing.T) {
+	req := Request{Workload: "CG", Topo: []int{4, 4}, Conc: 1}
+
+	res, err := Solve(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TraceID != "" || res.Metrics != nil {
+		t.Fatalf("scope-less solve carries attribution: trace %q metrics %v", res.TraceID, res.Metrics)
+	}
+
+	scope := NewScope("feedfacefeedface")
+	before := Metrics()
+	res, err = Solve(WithScope(context.Background(), scope), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TraceID != "feedfacefeedface" {
+		t.Fatalf("trace ID = %q, want the scope's", res.TraceID)
+	}
+	if len(res.Metrics) == 0 {
+		t.Fatal("scoped solve reports no metrics")
+	}
+	delta := Metrics().Sub(before)
+	for name, v := range res.Metrics {
+		if v < 0 {
+			t.Errorf("metric %s is negative: %d", name, v)
+		}
+		if got := delta.Counters[name]; got != v {
+			t.Errorf("global %s advanced by %d, request attributed %d", name, got, v)
+		}
+	}
+}

@@ -36,6 +36,12 @@ type (
 	MetricsServer = telemetry.Server
 	// PhaseTime is one row of the end-of-run telemetry report.
 	PhaseTime = telemetry.PhaseTime
+	// Scope is a request-local telemetry scope: a trace ID plus a private
+	// metrics registry the solver layers write into when the scope rides
+	// the solve context. Solve folds the scope's counters back into the
+	// process-wide registry on exit and reports the per-request delta in
+	// Result.Metrics.
+	Scope = telemetry.Scope
 )
 
 var (
@@ -43,6 +49,15 @@ var (
 	NewSpanRecorder = telemetry.NewRecorder
 	// NewProgressTracker returns an empty progress tracker.
 	NewProgressTracker = telemetry.NewProgressTracker
+	// NewScope builds a request-local telemetry scope; an empty trace ID
+	// draws a fresh random one.
+	NewScope = telemetry.NewScope
+	// WithScope attaches a scope to a context for Solve to pick up.
+	WithScope = telemetry.WithScope
+	// ScopeFrom retrieves the scope carried by a context (nil when absent).
+	ScopeFrom = telemetry.ScopeFrom
+	// NewTraceID draws a 16-hex-character random trace identifier.
+	NewTraceID = telemetry.NewTraceID
 )
 
 // Metrics returns a snapshot of the process-wide metrics registry
