@@ -67,7 +67,13 @@ func CollectAllows(fset *token.FileSet, files []*ast.File) ([]*Allow, []Diagnost
 // as unused (both under the AllowName pseudo-analyzer). The returned slice
 // is sorted by position.
 func ApplyAllows(diags []Diagnostic, allows []*Allow, known map[string]bool) []Diagnostic {
-	var out []Diagnostic
+	out, _ := applyAllows(diags, allows, known)
+	return out
+}
+
+// applyAllows is ApplyAllows returning the suppressed diagnostics too,
+// each stamped with the justification of the directive that silenced it.
+func applyAllows(diags []Diagnostic, allows []*Allow, known map[string]bool) (out, quiet []Diagnostic) {
 	for _, d := range diags {
 		suppressed := false
 		for _, a := range allows {
@@ -77,9 +83,12 @@ func ApplyAllows(diags []Diagnostic, allows []*Allow, known map[string]bool) []D
 			if a.Pos.Line == d.Pos.Line || a.Pos.Line+1 == d.Pos.Line {
 				a.used = true
 				suppressed = true
+				d.AllowReason = a.Reason
 			}
 		}
-		if !suppressed {
+		if suppressed {
+			quiet = append(quiet, d)
+		} else {
 			out = append(out, d)
 		}
 	}
@@ -100,5 +109,5 @@ func ApplyAllows(diags []Diagnostic, allows []*Allow, known map[string]bool) []D
 		}
 	}
 	sortDiagnostics(out)
-	return out
+	return out, quiet
 }

@@ -86,10 +86,43 @@ type Diagnostic struct {
 	Analyzer string
 	Pos      token.Position
 	Message  string
+	// AllowReason carries the justification of the rahtm:allow directive
+	// that suppressed this diagnostic; empty for active findings.
+	AllowReason string
 }
 
 func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// JSONDiagnostic is the wire form -json mode emits, one object per line.
+// Allow is "none" for an active finding and "suppressed" (with the
+// directive's reason) for one silenced by a rahtm:allow.
+type JSONDiagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+	Allow    string `json:"allow"`
+	Reason   string `json:"reason,omitempty"`
+}
+
+// JSON renders d for the machine-readable output stream.
+func (d Diagnostic) JSON(suppressed bool) JSONDiagnostic {
+	j := JSONDiagnostic{
+		Analyzer: d.Analyzer,
+		File:     d.Pos.Filename,
+		Line:     d.Pos.Line,
+		Col:      d.Pos.Column,
+		Message:  d.Message,
+		Allow:    "none",
+	}
+	if suppressed {
+		j.Allow = "suppressed"
+		j.Reason = d.AllowReason
+	}
+	return j
 }
 
 // sortDiagnostics orders diagnostics by file, line, column, analyzer.

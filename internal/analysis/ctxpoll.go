@@ -147,12 +147,12 @@ func heavyLoop(pass *Pass, body *ast.BlockStmt) bool {
 	return heavy
 }
 
-// mentionsCancel reports whether the body references anything
+// mentionsCancel reports whether the subtree references anything
 // cancellation-shaped: a context value, an empty-struct channel, or an
 // identifier matching the ctx/done/cancel/deadline naming convention.
-func mentionsCancel(pass *Pass, body *ast.BlockStmt) bool {
+func mentionsCancel(pass *Pass, root ast.Node) bool {
 	found := false
-	ast.Inspect(body, func(n ast.Node) bool {
+	ast.Inspect(root, func(n ast.Node) bool {
 		if found {
 			return false
 		}

@@ -1,0 +1,429 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockDiscipline enforces three mutex rules in internal code:
+//
+//   - no sync.Mutex/RWMutex copied by value: a parameter, value receiver,
+//     or plain assignment whose type is (or directly embeds) a mutex
+//     duplicates the lock state, so the copy guards nothing;
+//   - every Lock must be released on every return path: after a plain
+//     (non-deferred) Lock, reaching a return — or falling off the end of
+//     the function — while the lock is still held is reported, unless a
+//     matching deferred Unlock is registered;
+//   - no double-lock on the same receiver within one function: a second
+//     Lock on an expression already holding the lock self-deadlocks
+//     (RLock is tracked separately; recursive RLock is reported too, as it
+//     deadlocks against a waiting writer).
+//
+// The release check is a block-structured walk, not full data flow: branch
+// bodies are analyzed with a copy of the held-set, the state after a
+// branch is the intersection of its non-terminating arms (so a branch that
+// unlocks-and-returns does not disturb the fall-through path), and loop
+// bodies are checked with the loop-entry state. `for {}` without a break
+// never falls through and ends the path. A function that intentionally
+// returns while holding its lock (a locked-accessor idiom) needs an allow
+// directive with the justification. sync.Cond.Wait's internal
+// unlock/relock is invisible to the walk and needs no annotation — it
+// reacquires before returning, so the held-set stays truthful.
+var LockDiscipline = &Analyzer{
+	Name:   "lockdiscipline",
+	Doc:    "mutex copied by value, lock not released on every return path, or double-lock on one receiver",
+	Filter: IsInternalPkg,
+	Run:    runLockDiscipline,
+}
+
+func runLockDiscipline(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			checkMutexCopies(pass, fd)
+			if fd.Body != nil {
+				walkFuncLocks(pass, fd.Body)
+			}
+		}
+	}
+	return nil
+}
+
+// --- rule 1: copies ---
+
+// mutexKind classifies t: 1 when t is sync.Mutex/RWMutex itself, 2 when t
+// is a struct directly containing one (embedded or named field), 0 otherwise.
+func mutexKind(t types.Type) int {
+	if t == nil {
+		return 0
+	}
+	if isSyncMutex(t) {
+		return 1
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return 0
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if isSyncMutex(st.Field(i).Type()) {
+			return 2
+		}
+	}
+	return 0
+}
+
+func isSyncMutex(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+func checkMutexCopies(pass *Pass, fd *ast.FuncDecl) {
+	report := func(pos token.Pos, what string, kind int) {
+		how := "is a sync mutex"
+		if kind == 2 {
+			how = "contains a sync mutex"
+		}
+		pass.Reportf(pos, "%s %s and is passed by value; the copy's lock state is independent of the original — use a pointer", what, how)
+	}
+	if fd.Recv != nil {
+		for _, f := range fd.Recv.List {
+			if k := mutexKind(pass.TypeOf(f.Type)); k != 0 {
+				report(f.Pos(), "method receiver", k)
+			}
+		}
+	}
+	if fd.Type.Params != nil {
+		for _, f := range fd.Type.Params.List {
+			if k := mutexKind(pass.TypeOf(f.Type)); k != 0 {
+				report(f.Pos(), "parameter", k)
+			}
+		}
+	}
+	if fd.Body == nil {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, r := range as.Rhs {
+			switch r.(type) {
+			case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+				if k := mutexKind(pass.TypeOf(r)); k != 0 {
+					report(r.Pos(), "assigned value", k)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// --- rules 2 and 3: release on all paths, double-lock ---
+
+// lockOp identifies one mutex call: the rendered receiver expression plus
+// the read/write mode, e.g. "s.mu" / "s.mu#R".
+func lockOp(pass *Pass, call *ast.CallExpr) (key string, method string, ok bool) {
+	sel, selOk := call.Fun.(*ast.SelectorExpr)
+	if !selOk {
+		return "", "", false
+	}
+	fn, fnOk := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !fnOk {
+		return "", "", false
+	}
+	recv := receiverNamed(fn)
+	if recv == nil || recv.Obj().Pkg() == nil || recv.Obj().Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	if recv.Obj().Name() != "Mutex" && recv.Obj().Name() != "RWMutex" {
+		return "", "", false
+	}
+	method = fn.Name()
+	key = types.ExprString(sel.X)
+	if method == "RLock" || method == "RUnlock" {
+		key += "#R"
+	}
+	return key, method, true
+}
+
+// lockWalker carries per-function reporting state so each (lock site,
+// problem) pair is reported once even when several paths reach it.
+type lockWalker struct {
+	pass     *Pass
+	deferred map[string]bool
+	reported map[token.Pos]bool
+}
+
+// walkFuncLocks checks one function body (and, separately, every function
+// literal inside it) for release-on-all-paths and double-lock.
+func walkFuncLocks(pass *Pass, body *ast.BlockStmt) {
+	w := &lockWalker{pass: pass, deferred: map[string]bool{}, reported: map[token.Pos]bool{}}
+	held := map[string]token.Pos{}
+	terminated := w.walkStmts(body.List, held)
+	if !terminated {
+		w.checkReturn(held, body.End())
+	}
+	// Function literals are independent lock scopes.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			walkFuncLocks(pass, lit.Body)
+			return false
+		}
+		return true
+	})
+}
+
+// checkReturn reports every lock still held (and not covered by a deferred
+// unlock) when a return path completes.
+func (w *lockWalker) checkReturn(held map[string]token.Pos, _ token.Pos) {
+	for key, lockPos := range held {
+		if w.deferred[key] || w.reported[lockPos] {
+			continue
+		}
+		w.reported[lockPos] = true
+		w.pass.Reportf(lockPos, "%s locked here is not released on every return path; defer the unlock or release before each return", displayKey(key))
+	}
+}
+
+func displayKey(key string) string {
+	if len(key) > 2 && key[len(key)-2:] == "#R" {
+		return key[:len(key)-2] + " (read)"
+	}
+	return key
+}
+
+// walkStmts runs the held-set through stmts in order. It returns true when
+// the statement list definitely terminates (returns, branches away, or
+// ends in an escape-proof infinite loop), meaning code after it in the
+// enclosing block is unreachable from here.
+func (w *lockWalker) walkStmts(stmts []ast.Stmt, held map[string]token.Pos) bool {
+	for _, st := range stmts {
+		if w.walkStmt(st, held) {
+			return true
+		}
+	}
+	return false
+}
+
+func cloneHeld(held map[string]token.Pos) map[string]token.Pos {
+	out := make(map[string]token.Pos, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+// intersectInto keeps in dst only locks held in every provided state.
+func intersectInto(dst map[string]token.Pos, others ...map[string]token.Pos) {
+	for key := range dst {
+		for _, o := range others {
+			if _, ok := o[key]; !ok {
+				delete(dst, key)
+				break
+			}
+		}
+	}
+}
+
+func (w *lockWalker) walkStmt(st ast.Stmt, held map[string]token.Pos) (terminated bool) {
+	switch st := st.(type) {
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			w.applyCall(call, held)
+		}
+	case *ast.DeferStmt:
+		w.applyDefer(st.Call)
+	case *ast.ReturnStmt:
+		w.checkReturn(held, st.Pos())
+		return true
+	case *ast.BranchStmt:
+		// break/continue/goto/fallthrough leave this block; the lock state
+		// rejoins the loop analysis conservatively (a loop's post-state is
+		// its entry state).
+		return true
+	case *ast.BlockStmt:
+		return w.walkStmts(st.List, held)
+	case *ast.LabeledStmt:
+		return w.walkStmt(st.Stmt, held)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			w.walkStmt(st.Init, held)
+		}
+		bodyState := cloneHeld(held)
+		bodyTerm := w.walkStmts(st.Body.List, bodyState)
+		if st.Else == nil {
+			// Fall-through continues either with the pre-if state (branch
+			// not taken or terminated) or the body state; keep locks held
+			// on both to stay conservative about double-locks, and adopt
+			// unlocks only when the body cannot fall through.
+			if !bodyTerm {
+				intersectInto(held, bodyState)
+			}
+			return false
+		}
+		elseState := cloneHeld(held)
+		elseTerm := w.walkStmt(st.Else, elseState)
+		switch {
+		case bodyTerm && elseTerm:
+			return true
+		case bodyTerm:
+			replaceHeld(held, elseState)
+		case elseTerm:
+			replaceHeld(held, bodyState)
+		default:
+			replaceHeld(held, bodyState)
+			intersectInto(held, elseState)
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			w.walkStmt(st.Init, held)
+		}
+		bodyState := cloneHeld(held)
+		w.walkStmts(st.Body.List, bodyState)
+		// An infinite loop with no break never falls through.
+		if st.Cond == nil && !hasBreak(st.Body) {
+			return true
+		}
+	case *ast.RangeStmt:
+		bodyState := cloneHeld(held)
+		w.walkStmts(st.Body.List, bodyState)
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		w.walkClauses(st, held)
+	case *ast.GoStmt:
+		// The goroutine runs under its own lock scope (walkFuncLocks
+		// visits literals separately); spawning changes nothing here.
+	}
+	return false
+}
+
+// replaceHeld overwrites dst with src in place.
+func replaceHeld(dst, src map[string]token.Pos) {
+	for k := range dst {
+		delete(dst, k)
+	}
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+// walkClauses analyzes each case/comm clause with a copy of the entry
+// state and joins the non-terminating clauses by intersection.
+func (w *lockWalker) walkClauses(st ast.Stmt, held map[string]token.Pos) {
+	var bodies [][]ast.Stmt
+	switch st := st.(type) {
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			w.walkStmt(st.Init, held)
+		}
+		for _, c := range st.Body.List {
+			bodies = append(bodies, c.(*ast.CaseClause).Body)
+		}
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			w.walkStmt(st.Init, held)
+		}
+		for _, c := range st.Body.List {
+			bodies = append(bodies, c.(*ast.CaseClause).Body)
+		}
+	case *ast.SelectStmt:
+		for _, c := range st.Body.List {
+			bodies = append(bodies, c.(*ast.CommClause).Body)
+		}
+	}
+	var live []map[string]token.Pos
+	for _, b := range bodies {
+		s := cloneHeld(held)
+		if !w.walkStmts(b, s) {
+			live = append(live, s)
+		}
+	}
+	if len(live) == 0 {
+		return
+	}
+	replaceHeld(held, live[0])
+	intersectInto(held, live[1:]...)
+}
+
+// applyCall folds one call into the held-set: Lock acquires (reporting a
+// double-lock), Unlock releases.
+func (w *lockWalker) applyCall(call *ast.CallExpr, held map[string]token.Pos) {
+	key, method, ok := lockOp(w.pass, call)
+	if !ok {
+		return
+	}
+	switch method {
+	case "Lock", "RLock":
+		if _, already := held[key]; already && !w.reported[call.Pos()] {
+			w.reported[call.Pos()] = true
+			verb := "deadlocks"
+			if method == "RLock" {
+				verb = "deadlocks against a waiting writer"
+			}
+			w.pass.Reportf(call.Pos(), "second %s on %s while already held in this function %s", method, displayKey(key), verb)
+		}
+		held[key] = call.Pos()
+	case "Unlock", "RUnlock":
+		delete(held, key)
+	}
+}
+
+// applyDefer registers deferred unlocks, including the common
+// `defer func() { mu.Unlock() }()` shape.
+func (w *lockWalker) applyDefer(call *ast.CallExpr) {
+	if key, method, ok := lockOp(w.pass, call); ok {
+		if method == "Unlock" || method == "RUnlock" {
+			w.deferred[key] = true
+		}
+		return
+	}
+	lit, ok := call.Fun.(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok {
+			if key, method, ok := lockOp(w.pass, c); ok && (method == "Unlock" || method == "RUnlock") {
+				w.deferred[key] = true
+			}
+		}
+		return true
+	})
+}
+
+// hasBreak reports whether body contains a break binding to this loop
+// (i.e., not nested inside an inner for/range/switch/select).
+func hasBreak(body *ast.BlockStmt) bool {
+	found := false
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.BranchStmt:
+			if n.Tok == token.BREAK {
+				found = true
+			}
+			return false
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt, *ast.FuncLit:
+			// break inside these binds to them, not to our loop — except
+			// labeled breaks, which the conservative answer treats as
+			// absent (a labeled break past an infinite loop is rare and an
+			// allow directive can document it).
+			return false
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+	return found
+}

@@ -22,6 +22,11 @@ var (
 	// must keep telemetry inside the 2% overhead budget by batching
 	// counter updates outside loops.
 	hotPkgs = set("routing", "core", "lp", "milp", "hiermap", "merge")
+
+	// concurrentPkgs spawn goroutines (daemon workers, speculative
+	// branch-and-bound, the Phase 2/3 worker pools) and must keep every
+	// one cancellable and joined — the goroutinejoin contract.
+	concurrentPkgs = set("serve", "milp", "core", "merge")
 )
 
 func set(names ...string) map[string]bool {
@@ -47,6 +52,17 @@ func IsSolverPkg(path string) bool { return solverPkgs[pkgBase(path)] }
 
 // IsHotPkg reports whether path is under the telemetry overhead budget.
 func IsHotPkg(path string) bool { return hotPkgs[pkgBase(path)] }
+
+// IsConcurrentPkg reports whether path spawns pooled/speculative
+// goroutines held to the join-or-cancel contract.
+func IsConcurrentPkg(path string) bool { return concurrentPkgs[pkgBase(path)] }
+
+// IsScopedPkg reports whether path participates in per-request telemetry
+// attribution: the whole internal tree plus the module root ("rahtm"),
+// where Solve installs and merges the request scope.
+func IsScopedPkg(path string) bool {
+	return IsInternalPkg(path) || path == "rahtm"
+}
 
 // IsInternalPkg reports whether path is part of this module's internal
 // tree (library code as opposed to examples or third-party mains).

@@ -1,8 +1,13 @@
 package analysis
 
-// Analyzers returns the full rahtm-vet suite in reporting order.
+// Analyzers returns the full rahtm-vet suite in reporting order: the five
+// v1 invariant checks (determinism, cancellation, float hygiene, telemetry
+// budget) plus the four v2 aliasing/concurrency/scope analyzers.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{CtxPoll, DetRange, FloatEq, GlobalRand, TelemetryBatch}
+	return []*Analyzer{
+		CSRAlias, CtxPoll, DetRange, FloatEq, GlobalRand,
+		GoroutineJoin, LockDiscipline, ScopeProp, TelemetryBatch,
+	}
 }
 
 // KnownNames returns the set of analyzer names a rahtm:allow directive may
@@ -20,8 +25,16 @@ func KnownNames() map[string]bool {
 // (suppressing matched diagnostics, reporting unused or unknown allows).
 // The result is sorted by position.
 func RunPackages(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	active, _, err := RunPackagesAll(pkgs, analyzers)
+	return active, err
+}
+
+// RunPackagesAll is RunPackages, but additionally returns the diagnostics
+// that rahtm:allow directives suppressed — each stamped with the
+// directive's justification — so audits and the -json output can show the
+// full picture. Both slices are sorted by position.
+func RunPackagesAll(pkgs []*Package, analyzers []*Analyzer) (active, suppressed []Diagnostic, err error) {
 	known := KnownNames()
-	var all []Diagnostic
 	for _, pkg := range pkgs {
 		allows, malformed := CollectAllows(pkg.Fset, pkg.Files)
 		var diags []Diagnostic
@@ -31,13 +44,16 @@ func RunPackages(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			}
 			ds, err := runOne(az, pkg)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			diags = append(diags, ds...)
 		}
-		all = append(all, ApplyAllows(diags, allows, known)...)
-		all = append(all, malformed...)
+		kept, quiet := applyAllows(diags, allows, known)
+		active = append(active, kept...)
+		active = append(active, malformed...)
+		suppressed = append(suppressed, quiet...)
 	}
-	sortDiagnostics(all)
-	return all, nil
+	sortDiagnostics(active)
+	sortDiagnostics(suppressed)
+	return active, suppressed, nil
 }

@@ -42,12 +42,65 @@ func TestTelemetryBatch(t *testing.T) {
 	analysistest.Run(t, "testdata/telemetrybatch", "rahtm/internal/routing", analysis.TelemetryBatch)
 }
 
+func TestCSRAlias(t *testing.T) {
+	requireGo(t)
+	analysistest.Run(t, "testdata/csralias", "rahtm/internal/merge", analysis.CSRAlias)
+}
+
+func TestGoroutineJoin(t *testing.T) {
+	requireGo(t)
+	analysistest.Run(t, "testdata/goroutinejoin", "rahtm/internal/serve", analysis.GoroutineJoin)
+}
+
+func TestLockDiscipline(t *testing.T) {
+	requireGo(t)
+	analysistest.Run(t, "testdata/lockdiscipline", "rahtm/internal/serve", analysis.LockDiscipline)
+}
+
+func TestScopeProp(t *testing.T) {
+	requireGo(t)
+	analysistest.Run(t, "testdata/scopeprop", "rahtm/internal/core", analysis.ScopeProp)
+}
+
 // TestAllowDirective proves the suppression contract: a directive silences
 // exactly the named analyzer on its line, and unused, misnamed, and
 // malformed directives are themselves reported.
 func TestAllowDirective(t *testing.T) {
 	requireGo(t)
 	analysistest.Run(t, "testdata/allow", "rahtm/internal/hiermap", analysis.GlobalRand)
+}
+
+// TestNoStaleAllows audits every rahtm:allow directive in the module: each
+// must be well-formed, name a real analyzer, and suppress at least one live
+// diagnostic — and each suppression must carry its justification through to
+// the suppressed record. A stale allow (the code it excused was fixed or
+// moved) fails here even before the repo-clean gate does.
+func TestNoStaleAllows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	requireGo(t)
+	pkgs, err := analysis.Load("../..", "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	active, suppressed, err := analysis.RunPackagesAll(pkgs, analysis.Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range active {
+		if d.Analyzer == analysis.AllowName {
+			t.Errorf("stale or malformed rahtm:allow directive: %s", d.String())
+		}
+	}
+	if len(suppressed) == 0 {
+		t.Error("no suppressed diagnostics found; the known-intentional allows (e.g. the merge row-cache aliasing) should appear here")
+	}
+	for _, d := range suppressed {
+		if d.AllowReason == "" {
+			t.Errorf("suppressed diagnostic lost its justification: %s", d.String())
+		}
+	}
 }
 
 // TestAnalyzerScopes pins each analyzer's package filter: the invariants
@@ -66,6 +119,17 @@ func TestAnalyzerScopes(t *testing.T) {
 		{analysis.CtxPoll, "rahtm", false},
 		{analysis.TelemetryBatch, "rahtm/internal/routing", true},
 		{analysis.TelemetryBatch, "rahtm/internal/mapfile", false},
+		{analysis.CSRAlias, "rahtm/internal/merge", true},
+		{analysis.CSRAlias, "rahtm/internal/graph", true},
+		{analysis.CSRAlias, "rahtm", false},
+		{analysis.GoroutineJoin, "rahtm/internal/serve", true},
+		{analysis.GoroutineJoin, "rahtm/internal/milp", true},
+		{analysis.GoroutineJoin, "rahtm/internal/routing", false},
+		{analysis.LockDiscipline, "rahtm/internal/telemetry", true},
+		{analysis.LockDiscipline, "rahtm", false},
+		{analysis.ScopeProp, "rahtm/internal/core", true},
+		{analysis.ScopeProp, "rahtm", true},
+		{analysis.ScopeProp, "rahtm/cmd/rahtm-serve", false},
 	}
 	for _, c := range cases {
 		if got := c.az.Filter(c.path); got != c.want {
@@ -82,12 +146,15 @@ func TestAnalyzerScopes(t *testing.T) {
 
 func TestKnownNames(t *testing.T) {
 	known := analysis.KnownNames()
-	for _, name := range []string{"detrange", "globalrand", "ctxpoll", "floateq", "telemetrybatch"} {
+	for _, name := range []string{
+		"detrange", "globalrand", "ctxpoll", "floateq", "telemetrybatch",
+		"csralias", "goroutinejoin", "lockdiscipline", "scopeprop",
+	} {
 		if !known[name] {
 			t.Errorf("analyzer %q missing from suite", name)
 		}
 	}
-	if len(known) != 5 {
-		t.Errorf("suite has %d analyzers, want 5", len(known))
+	if len(known) != 9 {
+		t.Errorf("suite has %d analyzers, want 9", len(known))
 	}
 }

@@ -1,0 +1,100 @@
+// Fixture for the csralias analyzer: slices returned by graph.Comm.Edges
+// (and rows of nbr/nvol caches built from them) alias the frozen CSR
+// arrays and must not be mutated or stored long-lived without a directive.
+// Checked under the synthetic import path rahtm/internal/merge.
+package fixture
+
+import (
+	"sort"
+
+	"rahtm/internal/graph"
+)
+
+// rowCache mimics the merger's CSR row caches: rows alias graph storage.
+type rowCache struct {
+	nbr  [][]int32
+	nvol [][]float64
+	vols []float64
+}
+
+// badWrite stores through an Edges row directly.
+func badWrite(g *graph.Comm, s int) {
+	ds, vs := g.Edges(s)
+	vs[0] = 0 // want `csralias: write through a slice aliasing frozen CSR rows`
+	ds[0] = 1 // want `csralias: write through a slice aliasing frozen CSR rows`
+}
+
+// badIncDec increments an aliased element in place.
+func badIncDec(g *graph.Comm, s int) {
+	_, vs := g.Edges(s)
+	vs[0]++ // want `csralias: write through a slice aliasing frozen CSR rows`
+}
+
+// badPropagated mutates through a copy of the alias and a reslice of it —
+// the taint walk follows plain assignments and slicings to a fixpoint.
+func badPropagated(g *graph.Comm, s int) {
+	_, vs := g.Edges(s)
+	alias := vs
+	sub := alias[1:]
+	sub[0] = 2 // want `csralias: write through a slice aliasing frozen CSR rows`
+}
+
+// badSort sorts the shared row in place.
+func badSort(g *graph.Comm, s int) {
+	_, vs := g.Edges(s)
+	sort.Float64s(vs) // want `csralias: sort\.Float64s sorts in place through a slice aliasing frozen CSR rows`
+}
+
+// badAppend may write into the graph's backing array when capacity allows.
+func badAppend(g *graph.Comm, s int) []int32 {
+	ds, _ := g.Edges(s)
+	return append(ds, 7) // want `csralias: append to a slice aliasing frozen CSR rows`
+}
+
+// badCopyInto overwrites the shared row with copy.
+func badCopyInto(g *graph.Comm, s int, src []float64) {
+	_, vs := g.Edges(s)
+	copy(vs, src) // want `csralias: copy into a slice aliasing frozen CSR rows`
+}
+
+// badEscape parks the alias in a field, extending its lifetime beyond the
+// local scope without a documented decision.
+func badEscape(m *rowCache, g *graph.Comm, s int) {
+	m.nbr[s], m.nvol[s] = g.Edges(s) // want `csralias: storing a CSR-aliasing slice into a field or element` `csralias: storing a CSR-aliasing slice into a field or element`
+	_, vs := g.Edges(s)
+	m.vols = vs // want `csralias: storing a CSR-aliasing slice into a field or element`
+}
+
+// badCachedRow mutates through the nbr/nvol row caches, which are aliasing
+// sources in their own right.
+func badCachedRow(m *rowCache, t int) {
+	row := m.nvol[t]
+	row[0] = 3 // want `csralias: write through a slice aliasing frozen CSR rows`
+}
+
+// goodCopyFirst is the clean twin: copy the row into owned memory, then
+// mutate and sort freely.
+func goodCopyFirst(g *graph.Comm, s int) float64 {
+	_, vs := g.Edges(s)
+	own := append([]float64(nil), vs...)
+	sort.Float64s(own)
+	own[0] = 42
+	return own[0]
+}
+
+// goodReadOnly reads through the alias without mutating; reads are the
+// whole point of the zero-copy accessor.
+func goodReadOnly(g *graph.Comm, s int) float64 {
+	_, vs := g.Edges(s)
+	sum := 0.0
+	for _, v := range vs {
+		sum += v
+	}
+	return sum
+}
+
+// allowedEscape shows a justified long-lived alias: no diagnostic.
+func allowedEscape(m *rowCache, g *graph.Comm, s int) {
+	//rahtm:allow(csralias): fixture documents a deliberate read-only row cache
+	m.nbr[s], m.nvol[s] = g.Edges(s)
+}

@@ -1,0 +1,69 @@
+// Fixture for the goroutinejoin analyzer: every goroutine in a concurrent
+// package must be cancellable (ctx/done in sight) or joined (WaitGroup).
+// Checked under the synthetic import path rahtm/internal/serve.
+package fixture
+
+import (
+	"context"
+	"sync"
+)
+
+func work()             {}
+func drain(items []int) {}
+
+type server struct {
+	wg sync.WaitGroup
+}
+
+func (s *server) worker() { work() }
+
+// badFireAndForget spawns a goroutine nothing can stop or await.
+func badFireAndForget(items []int) {
+	go drain(items) // want `goroutinejoin: goroutine is neither cancellable nor joined`
+}
+
+// badLiteral is the literal-body variant of the same leak.
+func badLiteral() {
+	go func() { // want `goroutinejoin: goroutine is neither cancellable nor joined`
+		work()
+	}()
+}
+
+// goodCtx passes a context into the goroutine: cancellable.
+func goodCtx(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// goodDone watches an empty-struct done channel: cancellable.
+func goodDone(done <-chan struct{}) {
+	go func() {
+		<-done
+		work()
+	}()
+}
+
+// goodJoined participates in a WaitGroup join from inside the literal.
+func goodJoined(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+// goodMethodSpawn registers the goroutine with Add before the go statement
+// — how method-value spawns are recognized without inter-procedural flow.
+func (s *server) goodMethodSpawn(n int) {
+	for i := 0; i < n; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+}
+
+// allowedSpawn shows a justified suppression: no diagnostic expected.
+func allowedSpawn() {
+	//rahtm:allow(goroutinejoin): fixture exercises suppression on the next line
+	go work()
+}

@@ -1,0 +1,111 @@
+// Fixture for the lockdiscipline analyzer: no mutexes copied by value,
+// every Lock released on every return path, no double-lock on one
+// receiver. Checked under the synthetic import path rahtm/internal/serve.
+package fixture
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func use(*sync.Mutex) {}
+
+// badValueReceiver copies the whole counter — and its lock state — on
+// every call.
+func (c counter) badValueReceiver() int { // want `lockdiscipline: method receiver contains a sync mutex`
+	return c.n
+}
+
+// badParam receives the mutex itself by value.
+func badParam(mu sync.Mutex) { // want `lockdiscipline: parameter is a sync mutex`
+	mu.Lock()
+	mu.Unlock()
+}
+
+// badAssignCopy duplicates a mutex through a plain assignment.
+func badAssignCopy(c *counter) {
+	m2 := c.mu // want `lockdiscipline: assigned value is a sync mutex`
+	use(&m2)
+}
+
+// badLeakOnReturn holds the lock on the early-return path.
+func badLeakOnReturn(c *counter, fail bool) int {
+	c.mu.Lock() // want `lockdiscipline: c\.mu locked here is not released on every return path`
+	if fail {
+		return -1
+	}
+	n := c.n
+	c.mu.Unlock()
+	return n
+}
+
+// badFallOffEnd never releases at all.
+func badFallOffEnd(c *counter) {
+	c.mu.Lock() // want `lockdiscipline: c\.mu locked here is not released on every return path`
+	c.n++
+}
+
+// badDoubleLock self-deadlocks on the second acquisition.
+func badDoubleLock(c *counter) {
+	c.mu.Lock()
+	c.mu.Lock() // want `lockdiscipline: second Lock on c\.mu while already held in this function deadlocks`
+	c.n++
+	c.mu.Unlock()
+}
+
+// badDoubleRLock deadlocks too once a writer queues between the two reads.
+func badDoubleRLock(mu *sync.RWMutex) {
+	mu.RLock()
+	mu.RLock() // want `lockdiscipline: second RLock on mu \(read\) while already held in this function deadlocks against a waiting writer`
+	mu.RUnlock()
+	mu.RUnlock()
+}
+
+// goodDefer is the clean twin: the deferred unlock covers every path.
+func goodDefer(c *counter, fail bool) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if fail {
+		return -1
+	}
+	return c.n
+}
+
+// goodBranchRelease releases explicitly on each path.
+func goodBranchRelease(c *counter, fail bool) int {
+	c.mu.Lock()
+	if fail {
+		c.mu.Unlock()
+		return -1
+	}
+	n := c.n
+	c.mu.Unlock()
+	return n
+}
+
+// goodLoopExit unlocks before the return inside an escape-proof for {}.
+func goodLoopExit(c *counter) {
+	c.mu.Lock()
+	for {
+		if c.n > 0 {
+			c.mu.Unlock()
+			return
+		}
+		c.n++
+	}
+}
+
+// goodReadWrite keeps read and write locks distinct.
+func goodReadWrite(mu *sync.RWMutex) {
+	mu.RLock()
+	defer mu.RUnlock()
+}
+
+// allowedLockedReturn shows a justified locked-accessor: no diagnostic.
+func allowedLockedReturn(c *counter) *counter {
+	//rahtm:allow(lockdiscipline): fixture exercises suppression on the next line
+	c.mu.Lock()
+	return c
+}

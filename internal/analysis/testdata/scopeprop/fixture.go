@@ -1,0 +1,61 @@
+// Fixture for the scopeprop analyzer: a ctx-carrying function must keep
+// the request's telemetry scope attached — no root contexts handed to
+// callees, no unscoped evaluators, no scope-dropping compatibility
+// wrappers. Checked under the synthetic import path rahtm/internal/core.
+package fixture
+
+import (
+	"context"
+
+	"rahtm/internal/graph"
+	"rahtm/internal/hiermap"
+	"rahtm/internal/routing"
+	"rahtm/internal/telemetry"
+	"rahtm/internal/topology"
+)
+
+func helper(ctx context.Context) {}
+
+// badRootArg detaches the callee from the request's ctx and scope.
+func badRootArg(ctx context.Context) {
+	helper(context.Background()) // want `scopeprop: root context passed while the caller's ctx`
+	helper(context.TODO())       // want `scopeprop: root context passed while the caller's ctx`
+}
+
+// badUnscopedEvaluator builds an evaluator that bills its stencil-cache
+// traffic to the process-wide counters instead of the request's registry.
+func badUnscopedEvaluator(ctx context.Context, loads []float64) routing.MinimalAdaptive {
+	alg := routing.MinimalAdaptive{} // want `scopeprop: unscoped routing\.MinimalAdaptive in a ctx-carrying function`
+	return alg
+}
+
+// badCompatWrapper calls the scope-dropping sibling of EvaluateWith.
+func badCompatWrapper(ctx context.Context, g *graph.Comm, shape []int, m topology.Mapping) float64 {
+	return hiermap.Evaluate(g, shape, true, m) // want `scopeprop: Evaluate hard-codes an unscoped evaluator; call EvaluateWith`
+}
+
+// goodScoped is the clean twin: the scope rides ctx into the evaluator and
+// the scope-threading sibling carries it to the solve.
+func goodScoped(ctx context.Context, g *graph.Comm, shape []int, m topology.Mapping) float64 {
+	alg := routing.MinimalAdaptive{}.WithScope(telemetry.ScopeFrom(ctx))
+	return hiermap.EvaluateWith(g, shape, true, m, alg)
+}
+
+// goodCtxThreaded forwards the caller's ctx, not a fresh root.
+func goodCtxThreaded(ctx context.Context) {
+	helper(ctx)
+}
+
+// goodNoCtx has no ctx parameter: it is a documented unscoped entry point
+// (CLI, test, non-Ctx compatibility shim) and is exempt.
+func goodNoCtx(g *graph.Comm, shape []int, m topology.Mapping) float64 {
+	alg := routing.MinimalAdaptive{}
+	_ = alg
+	return hiermap.Evaluate(g, shape, true, m)
+}
+
+// allowedRoot shows a justified suppression: no diagnostic expected.
+func allowedRoot(ctx context.Context) {
+	//rahtm:allow(scopeprop): fixture exercises suppression on the next line
+	helper(context.Background())
+}

@@ -483,6 +483,7 @@ func (m *merger) initAdjacency() {
 			if m.nbr[t] != nil {
 				continue
 			}
+			//rahtm:allow(csralias): nbr/nvol deliberately cache CSR row aliases for zero-copy adjacency scans; the rows are never written and the frozen graph outlives the merger (TestMergeDeltaByteIdentical covers the read-only contract)
 			m.nbr[t], m.nvol[t] = m.g.Edges(t)
 		}
 	}
